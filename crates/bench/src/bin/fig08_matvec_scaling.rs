@@ -1,0 +1,78 @@
+//! Figure 8: strong scaling of the DG Laplacian mat-vec (k = 3) for the
+//! lung g=11 geometry and the generic bifurcation.
+//!
+//! Hybrid measurement/model (DESIGN.md substitution 2): the saturated
+//! single-node rate is *measured* on this machine's kernels and calibrates
+//! the machine model; the node-count sweep to 2048 nodes then reproduces
+//! the run-time-vs-work-per-rank lines and the double-bump throughput
+//! curve the paper reports.
+
+use dgflow_bench::{best_time, bifurcation_forest, eng, lung_forest, row};
+use dgflow_fem::{LaplaceOperator, MatrixFree, MfParams};
+use dgflow_mesh::TrilinearManifold;
+use dgflow_perfmodel::{strong_scaling_sweep, LaplaceCounts, MachineModel};
+use dgflow_solvers::LinearOperator;
+use std::sync::Arc;
+
+fn measure_saturated(forest: &dgflow_mesh::Forest) -> f64 {
+    let manifold = TrilinearManifold::from_forest(forest);
+    let mf = Arc::new(MatrixFree::<f64, 8>::new(forest, &manifold, MfParams::dg(3)));
+    let op = LaplaceOperator::new(mf.clone());
+    let n = mf.n_dofs();
+    let src: Vec<f64> = (0..n).map(|i| (i % 31) as f64 * 0.02).collect();
+    let mut dst = vec![0.0; n];
+    let t = best_time(5, || op.apply(&src, &mut dst));
+    n as f64 / t
+}
+
+fn main() {
+    println!("# Fig. 8 — strong scaling of the k=3 DG Laplacian mat-vec");
+    println!();
+    // measured saturated rates on this machine
+    let (bif, _) = bifurcation_forest(1);
+    let tp_bif = measure_saturated(&bif);
+    let (lung, _) = lung_forest(5, true, 0);
+    let tp_lung = measure_saturated(&lung);
+    println!(
+        "measured saturated node rate: bifurcation {} DoF/s, lung {} DoF/s",
+        eng(tp_bif),
+        eng(tp_lung)
+    );
+    println!(
+        "(lung/bifurcation ratio {:.2} — the paper finds near-parity away from the scaling limit)",
+        tp_lung / tp_bif
+    );
+    println!();
+    let c = LaplaceCounts::new(3, 8.0);
+    let machine = MachineModel::calibrated(tp_bif, c.ideal_bytes_per_dof * 1.25);
+    let nodes: Vec<usize> = (0..12).map(|i| 1 << i).collect();
+    for (name, dofs, complexity) in [
+        ("bifurcation 57M DoF", 57e6, 1.0),
+        ("bifurcation 460M DoF", 460e6, 1.0),
+        ("lung g=11 22M DoF", 22e6, 2.0),
+        ("lung g=11 179M DoF", 179e6, 2.0),
+    ] {
+        println!("## {name}");
+        row(&"nodes|DoF/rank|time [s]|throughput [DoF/s]"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>());
+        row(&"--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+        for p in strong_scaling_sweep(&machine, &c, dofs, &nodes, complexity) {
+            if p.dofs_per_node < 1e3 {
+                continue;
+            }
+            row(&[
+                p.nodes.to_string(),
+                eng(p.dofs_per_node / machine.cores_per_node as f64),
+                eng(p.time),
+                eng(p.throughput),
+            ]);
+        }
+        println!();
+    }
+    println!("shape checks vs the paper: run time saturates slightly below 1e-4 s;");
+    println!("throughput dips, recovers in the cache regime below ~1e-3 s, then");
+    println!("collapses below 30% of saturated near 1e-4 s; the lung case sits");
+    println!("slightly below the bifurcation near the limit.");
+}

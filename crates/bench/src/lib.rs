@@ -1,0 +1,85 @@
+//! Shared helpers for the benchmark harness: geometry construction, timing,
+//! and tabular output. One binary per table/figure of the paper lives in
+//! `src/bin/`; see DESIGN.md for the experiment index and EXPERIMENTS.md
+//! for recorded results.
+
+use dgflow_lung::{mesh_airway_tree, AirwayTree, LungMesh, MeshParams, TreeParams};
+use dgflow_mesh::Forest;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f` (the paper's measurement protocol:
+/// 20 repetitions, best sample).
+pub fn best_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Lung geometry of `g` generations with optional upper-airway refinement
+/// (hanging nodes) and `l` global refinements.
+pub fn lung_forest(g: usize, refine_upper: bool, global_levels: usize) -> (Forest, LungMesh) {
+    let tree = AirwayTree::grow(TreeParams::adult(g));
+    let mesh = mesh_airway_tree(&tree, MeshParams::default());
+    let mut forest = Forest::new(mesh.coarse.clone());
+    forest.refine_global(global_levels);
+    if refine_upper {
+        let marks = mesh.upper_airway_marks(&forest, 1);
+        forest.refine_active(&marks);
+    }
+    (forest, mesh)
+}
+
+/// The generic bifurcation geometry (Figs. 8/9), `l` global refinements.
+pub fn bifurcation_forest(global_levels: usize) -> (Forest, LungMesh) {
+    let tree = dgflow_lung::bifurcation_tree();
+    let mesh = mesh_airway_tree(&tree, MeshParams::default());
+    let mut forest = Forest::new(mesh.coarse.clone());
+    forest.refine_global(global_levels);
+    (forest, mesh)
+}
+
+/// Print a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a float in engineering style.
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if (0.01..10000.0).contains(&a) {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_geometries() {
+        let (forest, mesh) = bifurcation_forest(0);
+        assert_eq!(forest.n_active(), mesh.n_cells());
+        let (forest, mesh) = lung_forest(2, true, 0);
+        assert!(forest.n_active() > mesh.n_cells());
+    }
+
+    #[test]
+    fn best_time_returns_minimum() {
+        let mut k = 0usize;
+        let t = best_time(3, || {
+            k += 1;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert_eq!(k, 3);
+        assert!(t >= 0.001 && t < 0.1);
+    }
+}

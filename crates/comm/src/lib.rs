@@ -1,0 +1,18 @@
+//! Parallel substrates: the MPI substitute and shared-memory threading.
+//!
+//! Two layers, mirroring the paper's parallelization (Sec. 3.2):
+//!
+//! * [`comm`] — a [`Communicator`] trait with in-process SPMD ranks
+//!   ([`ThreadComm`]) over crossbeam channels: point-to-point buffers with
+//!   tag checking, reductions, barriers. [`dist`] builds partitioned
+//!   vectors with nearest-neighbor ghost exchange on top.
+//! * [`par`] — a persistent-thread `parallel_for` used by the matrix-free
+//!   cell/face loops within one address space.
+
+pub mod comm;
+pub mod dist;
+pub mod par;
+
+pub use comm::{Communicator, SelfComm, ThreadComm};
+pub use dist::{dist_dot, dist_norm, GhostPattern};
+pub use par::{parallel_for_chunks, ThreadPool};

@@ -1,0 +1,200 @@
+//! Shared-memory `parallel_for` over a persistent worker pool.
+//!
+//! The paper parallelizes the cell/face loops with MPI across nodes and
+//! relies on cross-element SIMD within a core. On a single address space we
+//! add the missing middle layer: a work-stealing loop over batches of SIMD
+//! cells executed by a pool of persistent threads (spawning threads per
+//! operator application would dominate the sub-millisecond kernel times the
+//! strong-scaling experiments target).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+struct Job {
+    /// Borrowed closure with its lifetime erased; validity is guaranteed
+    /// because `ThreadPool::run` blocks until every worker reports done.
+    func: &'static (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+    counter: Arc<AtomicUsize>,
+    done: Arc<(Mutex<usize>, Condvar)>,
+}
+
+/// A persistent pool of worker threads executing indexed task batches.
+pub struct ThreadPool {
+    senders: Vec<crossbeam::channel::Sender<Job>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `n_threads` workers (in addition to the caller,
+    /// which participates in every run).
+    pub fn new(n_workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+            senders.push(tx);
+            std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    loop {
+                        let i = job.counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= job.n_tasks {
+                            break;
+                        }
+                        (job.func)(i);
+                    }
+                    let (lock, cv) = &*job.done;
+                    let mut finished = lock.lock();
+                    *finished += 1;
+                    cv.notify_all();
+                }
+            });
+        }
+        Self { senders }
+    }
+
+    /// The process-wide pool, sized to the available parallelism minus one
+    /// (the caller thread works too). Override with `DGFLOW_THREADS`.
+    pub fn global() -> &'static ThreadPool {
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let n = std::env::var("DGFLOW_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            ThreadPool::new(n.saturating_sub(1))
+        })
+    }
+
+    /// Number of threads that execute a run (workers + caller).
+    pub fn n_threads(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Execute `f(task)` for every `task in 0..n_tasks`, distributing tasks
+    /// dynamically over all threads. Blocks until every task has finished.
+    pub fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // Small runs: not worth waking the pool.
+        if self.senders.is_empty() || n_tasks == 1 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        // SAFETY: `run` does not return before every worker has finished
+        // using `func` (we wait on `done` below), so the borrow outlives
+        // all uses despite the erased lifetime.
+        let func: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        let counter = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for s in &self.senders {
+            s.send(Job {
+                func,
+                n_tasks,
+                counter: counter.clone(),
+                done: done.clone(),
+            })
+            .expect("worker thread died");
+        }
+        // caller participates
+        loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            f(i);
+        }
+        let (lock, cv) = &*done;
+        let mut finished = lock.lock();
+        while *finished < self.senders.len() {
+            cv.wait(&mut finished);
+        }
+    }
+}
+
+/// Parallel loop over `0..n_items` in chunks of at least `min_chunk`,
+/// executed on the global pool. `f` receives a half-open index range.
+pub fn parallel_for_chunks(
+    n_items: usize,
+    min_chunk: usize,
+    f: impl Fn(std::ops::Range<usize>) + Sync,
+) {
+    let pool = ThreadPool::global();
+    let target_chunks = pool.n_threads() * 4;
+    let chunk = (n_items.div_ceil(target_chunks)).max(min_chunk.max(1));
+    let n_chunks = n_items.div_ceil(chunk);
+    pool.run(n_chunks, &|c| {
+        let lo = c * chunk;
+        let hi = ((c + 1) * chunk).min(n_items);
+        f(lo..hi);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_executes_every_task_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(64, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * (63 * 64 / 2));
+    }
+
+    #[test]
+    fn zero_workers_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        let mut touched = vec![false; 10];
+        let cells = std::sync::Mutex::new(&mut touched);
+        pool.run(10, &|i| {
+            cells.lock().unwrap()[i] = true;
+        });
+        assert!(touched.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn parallel_for_chunks_covers_range_disjointly() {
+        let n = 12345;
+        let data: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_chunks(n, 16, |range| {
+            for i in range {
+                data[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(data.iter().all(|d| d.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let v: Vec<f64> = (0..100_000).map(|i| (i % 97) as f64).collect();
+        let total = AtomicU64::new(0);
+        parallel_for_chunks(v.len(), 1024, |range| {
+            let s: f64 = v[range].iter().sum();
+            total.fetch_add(s as u64, Ordering::Relaxed);
+        });
+        let serial: f64 = v.iter().sum();
+        assert_eq!(total.load(Ordering::Relaxed), serial as u64);
+    }
+}

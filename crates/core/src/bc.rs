@@ -1,0 +1,116 @@
+//! Boundary-condition description for the flow solver.
+//!
+//! Per boundary id, a face is either a no-slip *wall* (velocity Dirichlet 0,
+//! pressure Neumann) or a *pressure* boundary (pressure Dirichlet with a
+//! time-dependent value — trachea inlet or 0-D-model outlet — velocity
+//! "do-nothing").
+
+/// Kind of one boundary id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BcKind {
+    /// No-slip wall.
+    Wall,
+    /// Prescribed (spatially constant) pressure.
+    Pressure,
+}
+
+/// The full boundary description, indexed by boundary id.
+#[derive(Clone, Debug, Default)]
+pub struct FlowBcs {
+    /// Kind per boundary id (ids beyond the list default to `Wall`).
+    pub kinds: Vec<BcKind>,
+    /// Current pressure value per boundary id (only meaningful on
+    /// `Pressure` ids); updated every time step by the ventilator/0-D
+    /// models.
+    pub pressure_values: Vec<f64>,
+}
+
+impl FlowBcs {
+    /// All-wall boundary.
+    pub fn walls() -> Self {
+        Self::default()
+    }
+
+    /// Build from kinds; pressures start at 0.
+    pub fn new(kinds: Vec<BcKind>) -> Self {
+        let n = kinds.len();
+        Self {
+            kinds,
+            pressure_values: vec![0.0; n],
+        }
+    }
+
+    /// Kind of a boundary id.
+    pub fn kind(&self, id: u32) -> BcKind {
+        self.kinds.get(id as usize).copied().unwrap_or(BcKind::Wall)
+    }
+
+    /// Pressure value of a boundary id (0 for walls).
+    pub fn pressure(&self, id: u32) -> f64 {
+        self.pressure_values.get(id as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Set the pressure of one id.
+    pub fn set_pressure(&mut self, id: u32, value: f64) {
+        if self.pressure_values.len() <= id as usize {
+            self.pressure_values.resize(id as usize + 1, 0.0);
+        }
+        self.pressure_values[id as usize] = value;
+    }
+
+    /// Boundary-condition vectors for the pressure Poisson solver: pressure
+    /// ids are Dirichlet, walls Neumann.
+    pub fn pressure_poisson_bc(&self) -> Vec<dgflow_fem::BoundaryCondition> {
+        self.kinds
+            .iter()
+            .map(|k| match k {
+                BcKind::Wall => dgflow_fem::BoundaryCondition::Neumann,
+                BcKind::Pressure => dgflow_fem::BoundaryCondition::Dirichlet,
+            })
+            .collect()
+    }
+
+    /// Boundary-condition vectors for the viscous (velocity) solver: walls
+    /// are Dirichlet, pressure ids Neumann.
+    pub fn velocity_bc(&self) -> Vec<dgflow_fem::BoundaryCondition> {
+        self.kinds
+            .iter()
+            .map(|k| match k {
+                BcKind::Wall => dgflow_fem::BoundaryCondition::Dirichlet,
+                BcKind::Pressure => dgflow_fem::BoundaryCondition::Neumann,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_walls() {
+        let bcs = FlowBcs::walls();
+        assert_eq!(bcs.kind(0), BcKind::Wall);
+        assert_eq!(bcs.kind(99), BcKind::Wall);
+        assert_eq!(bcs.pressure(5), 0.0);
+    }
+
+    #[test]
+    fn set_pressure_resizes() {
+        let mut bcs = FlowBcs::new(vec![BcKind::Wall, BcKind::Pressure]);
+        bcs.set_pressure(3, 7.5);
+        assert_eq!(bcs.pressure(3), 7.5);
+        assert_eq!(bcs.pressure(1), 0.0);
+    }
+
+    #[test]
+    fn bc_vectors_are_dual() {
+        let bcs = FlowBcs::new(vec![BcKind::Wall, BcKind::Pressure, BcKind::Pressure]);
+        let pp = bcs.pressure_poisson_bc();
+        let vv = bcs.velocity_bc();
+        assert_eq!(pp[0], dgflow_fem::BoundaryCondition::Neumann);
+        assert_eq!(pp[1], dgflow_fem::BoundaryCondition::Dirichlet);
+        assert_eq!(vv[0], dgflow_fem::BoundaryCondition::Dirichlet);
+        assert_eq!(vv[2], dgflow_fem::BoundaryCondition::Neumann);
+    }
+}

@@ -1,0 +1,196 @@
+//! Checkpoint/restart of the flow state — the operational requirement of
+//! multi-day breathing-cycle runs (the paper's wall-times per cycle range
+//! up to 25 h even at scale).
+//!
+//! A deliberately simple, self-describing little-endian binary format
+//! (magic + version + sized f64 blocks), written with std only.
+
+use crate::solver::FlowSolver;
+use crate::ventilation::VentilationModel;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"DGFLOWCK";
+const VERSION: u32 = 1;
+
+/// A serializable snapshot of the time-dependent state (mesh/operator
+/// setup is rebuilt deterministically from the same inputs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Simulated time.
+    pub time: f64,
+    /// Current and previous step size.
+    pub dt: f64,
+    /// Previous step size.
+    pub dt_old: f64,
+    /// Steps taken.
+    pub step_count: u64,
+    /// Velocity field.
+    pub velocity: Vec<f64>,
+    /// Pressure field.
+    pub pressure: Vec<f64>,
+    /// Ventilator driving pressure (controller state).
+    pub delta_p: f64,
+    /// Compartment volumes.
+    pub compartment_volumes: Vec<f64>,
+}
+
+fn write_f64s(out: &mut dyn Write, v: &[f64]) -> io::Result<()> {
+    out.write_all(&(v.len() as u64).to_le_bytes())?;
+    for x in v {
+        out.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f64s(inp: &mut dyn Read) -> io::Result<Vec<f64>> {
+    let mut n8 = [0u8; 8];
+    inp.read_exact(&mut n8)?;
+    let n = u64::from_le_bytes(n8) as usize;
+    let mut v = Vec::with_capacity(n);
+    let mut b = [0u8; 8];
+    for _ in 0..n {
+        inp.read_exact(&mut b)?;
+        v.push(f64::from_le_bytes(b));
+    }
+    Ok(v)
+}
+
+impl Checkpoint {
+    /// Capture the restartable state of a solver (+ optional ventilation
+    /// model).
+    pub fn capture<const L: usize>(
+        solver: &FlowSolver<L>,
+        vent: Option<&VentilationModel>,
+    ) -> Self {
+        Self {
+            time: solver.time,
+            dt: solver.dt,
+            dt_old: solver.dt,
+            step_count: solver.step_count as u64,
+            velocity: solver.velocity.clone(),
+            pressure: solver.pressure.clone(),
+            delta_p: vent.map(|v| v.settings.delta_p).unwrap_or(0.0),
+            compartment_volumes: vent
+                .map(|v| v.compartments.iter().map(|c| c.volume).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Restore into a freshly constructed solver of identical setup.
+    pub fn restore<const L: usize>(
+        &self,
+        solver: &mut FlowSolver<L>,
+        vent: Option<&mut VentilationModel>,
+    ) {
+        assert_eq!(self.velocity.len(), solver.velocity.len());
+        assert_eq!(self.pressure.len(), solver.pressure.len());
+        solver.set_velocity(self.velocity.clone());
+        solver.pressure = self.pressure.clone();
+        solver.time = self.time;
+        solver.dt = self.dt;
+        if let Some(v) = vent {
+            v.settings.delta_p = self.delta_p;
+            for (c, &vol) in v.compartments.iter_mut().zip(&self.compartment_volumes) {
+                c.volume = vol;
+            }
+        }
+    }
+
+    /// Serialize.
+    pub fn write(&self, out: &mut dyn Write) -> io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&self.time.to_le_bytes())?;
+        out.write_all(&self.dt.to_le_bytes())?;
+        out.write_all(&self.dt_old.to_le_bytes())?;
+        out.write_all(&self.step_count.to_le_bytes())?;
+        out.write_all(&self.delta_p.to_le_bytes())?;
+        write_f64s(out, &self.velocity)?;
+        write_f64s(out, &self.pressure)?;
+        write_f64s(out, &self.compartment_volumes)?;
+        Ok(())
+    }
+
+    /// Deserialize; rejects wrong magic/version.
+    pub fn read(inp: &mut dyn Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        inp.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut b4 = [0u8; 4];
+        inp.read_exact(&mut b4)?;
+        if u32::from_le_bytes(b4) != VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
+        }
+        let mut b8 = [0u8; 8];
+        let mut f = || -> io::Result<f64> {
+            inp.read_exact(&mut b8)?;
+            Ok(f64::from_le_bytes(b8))
+        };
+        let time = f()?;
+        let dt = f()?;
+        let dt_old = f()?;
+        let mut c8 = [0u8; 8];
+        inp.read_exact(&mut c8)?;
+        let step_count = u64::from_le_bytes(c8);
+        inp.read_exact(&mut c8)?;
+        let delta_p = f64::from_le_bytes(c8);
+        Ok(Self {
+            time,
+            dt,
+            dt_old,
+            step_count,
+            delta_p,
+            velocity: read_f64s(inp)?,
+            pressure: read_f64s(inp)?,
+            compartment_volumes: read_f64s(inp)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let ck = Checkpoint {
+            time: 1.25,
+            dt: 1e-4,
+            dt_old: 9e-5,
+            step_count: 12345,
+            velocity: (0..100).map(|i| i as f64 * 0.1).collect(),
+            pressure: (0..40).map(|i| -(i as f64)).collect(),
+            delta_p: 1200.0,
+            compartment_volumes: vec![1e-4, 2e-4],
+        };
+        let mut buf = Vec::new();
+        ck.write(&mut buf).unwrap();
+        let back = Checkpoint::read(&mut buf.as_slice()).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn rejects_corrupt_data() {
+        let ck = Checkpoint {
+            time: 0.0,
+            dt: 1.0,
+            dt_old: 1.0,
+            step_count: 0,
+            velocity: vec![1.0],
+            pressure: vec![2.0],
+            delta_p: 0.0,
+            compartment_volumes: vec![],
+        };
+        let mut buf = Vec::new();
+        ck.write(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(Checkpoint::read(&mut buf.as_slice()).is_err());
+        // truncation
+        let mut buf2 = Vec::new();
+        ck.write(&mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 4);
+        assert!(Checkpoint::read(&mut buf2.as_slice()).is_err());
+    }
+}

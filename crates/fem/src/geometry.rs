@@ -1,0 +1,322 @@
+//! High-order polynomial geometry representation and precomputed metric
+//! terms (the `D_e`, `D_f` data of Eq. (7)).
+//!
+//! Following Heltai et al. (and Sec. 3.3), the exact [`Manifold`] geometry
+//! is sampled once at `(m+1)^3` support points per active cell; Jacobians
+//! at quadrature points are then evaluated from that polynomial interpolant
+//! and stored in SIMD-batch (struct-of-array) layout, which is the data the
+//! operator kernels stream from memory at run time.
+
+use dgflow_mesh::{Forest, Manifold};
+use dgflow_simd::{Real, Simd};
+use dgflow_tensor::{LagrangeBasis1D, NodeSet};
+
+/// Polynomial mapping: support points of every active cell.
+pub struct Mapping {
+    /// Mapping polynomial degree `m`.
+    pub degree: usize,
+    /// GLL support points per direction (`m+1`).
+    pub n1: usize,
+    /// `n_cells * (m+1)^3` physical positions, cell-major, lexicographic.
+    pub points: Vec<[f64; 3]>,
+    basis: LagrangeBasis1D,
+}
+
+impl Mapping {
+    /// Sample `manifold` at the mapping support points of every active cell.
+    pub fn build(forest: &Forest, manifold: &dyn Manifold, degree: usize) -> Self {
+        assert!(degree >= 1);
+        let nodes = NodeSet::GaussLobatto.nodes(degree);
+        let n1 = degree + 1;
+        let ppc = n1 * n1 * n1;
+        let n_cells = forest.n_active();
+        let mut points = vec![[0.0; 3]; n_cells * ppc];
+        let cells: Vec<_> = forest.active_cells().collect();
+        let out = crate::util::SharedMut::new(&mut points);
+        dgflow_comm::parallel_for_chunks(n_cells, 8, |range| {
+            for c in range {
+                let cell = cells[c];
+                let (lo, h) = cell.ref_bounds();
+                for i2 in 0..n1 {
+                    for i1 in 0..n1 {
+                        for i0 in 0..n1 {
+                            let xi = [
+                                lo[0] + h * nodes[i0],
+                                lo[1] + h * nodes[i1],
+                                lo[2] + h * nodes[i2],
+                            ];
+                            let p = manifold.position(cell.tree as usize, xi);
+                            let idx = c * ppc + i0 + n1 * (i1 + n1 * i2);
+                            // SAFETY: chunks write disjoint cell blocks
+                            unsafe { out.write(idx, p) };
+                        }
+                    }
+                }
+            }
+        });
+        Self {
+            degree,
+            n1,
+            points,
+            basis: LagrangeBasis1D::new(nodes),
+        }
+    }
+
+    /// Support points per cell.
+    pub fn points_per_cell(&self) -> usize {
+        self.n1 * self.n1 * self.n1
+    }
+
+    /// Physical position at reference point `xi` of `cell` (polynomial
+    /// interpolant — agrees with the manifold at the support points).
+    pub fn position(&self, cell: usize, xi: [f64; 3]) -> [f64; 3] {
+        let n1 = self.n1;
+        let v0 = self.basis.values_at(xi[0]);
+        let v1 = self.basis.values_at(xi[1]);
+        let v2 = self.basis.values_at(xi[2]);
+        let base = cell * self.points_per_cell();
+        let mut p = [0.0; 3];
+        for i2 in 0..n1 {
+            for i1 in 0..n1 {
+                let w12 = v1[i1] * v2[i2];
+                for i0 in 0..n1 {
+                    let w = v0[i0] * w12;
+                    let pt = self.points[base + i0 + n1 * (i1 + n1 * i2)];
+                    for d in 0..3 {
+                        p[d] += w * pt[d];
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// 1-D mapping basis values at `x` (for precomputed evaluation tables).
+    pub fn basis_values(&self, x: f64) -> Vec<f64> {
+        self.basis.values_at(x)
+    }
+
+    /// 1-D mapping basis derivatives at `x`.
+    pub fn basis_derivatives(&self, x: f64) -> Vec<f64> {
+        self.basis.derivatives_at(x)
+    }
+
+    /// Position from precomputed per-axis basis-value tables.
+    pub fn position_with(&self, cell: usize, v: [&[f64]; 3]) -> [f64; 3] {
+        let n1 = self.n1;
+        let base = cell * self.points_per_cell();
+        let mut p = [0.0; 3];
+        for i2 in 0..n1 {
+            for i1 in 0..n1 {
+                let w12 = v[1][i1] * v[2][i2];
+                for i0 in 0..n1 {
+                    let w = v[0][i0] * w12;
+                    let pt = self.points[base + i0 + n1 * (i1 + n1 * i2)];
+                    for d in 0..3 {
+                        p[d] += w * pt[d];
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// Jacobian from precomputed per-axis basis tables: `vg[d]` holds the
+    /// (values, derivatives) of the 1-D mapping basis at the point's `d`-th
+    /// coordinate. Avoids the per-call basis evaluation of
+    /// [`Mapping::jacobian`] inside the metric setup loops.
+    pub fn jacobian_with(&self, cell: usize, vg: [(&[f64], &[f64]); 3]) -> [[f64; 3]; 3] {
+        let n1 = self.n1;
+        let base = cell * self.points_per_cell();
+        let mut jac = [[0.0; 3]; 3];
+        for i2 in 0..n1 {
+            for i1 in 0..n1 {
+                for i0 in 0..n1 {
+                    let pt = self.points[base + i0 + n1 * (i1 + n1 * i2)];
+                    let idx = [i0, i1, i2];
+                    for e in 0..3 {
+                        let mut w = 1.0;
+                        for d in 0..3 {
+                            w *= if d == e { vg[d].1[idx[d]] } else { vg[d].0[idx[d]] };
+                        }
+                        for d in 0..3 {
+                            jac[d][e] += w * pt[d];
+                        }
+                    }
+                }
+            }
+        }
+        jac
+    }
+
+    /// Jacobian `J[d][e] = ∂X_d/∂ξ_e` at reference point `xi` of `cell`.
+    pub fn jacobian(&self, cell: usize, xi: [f64; 3]) -> [[f64; 3]; 3] {
+        let n1 = self.n1;
+        let v = [
+            self.basis.values_at(xi[0]),
+            self.basis.values_at(xi[1]),
+            self.basis.values_at(xi[2]),
+        ];
+        let g = [
+            self.basis.derivatives_at(xi[0]),
+            self.basis.derivatives_at(xi[1]),
+            self.basis.derivatives_at(xi[2]),
+        ];
+        let base = cell * self.points_per_cell();
+        let mut jac = [[0.0; 3]; 3];
+        for i2 in 0..n1 {
+            for i1 in 0..n1 {
+                for i0 in 0..n1 {
+                    let pt = self.points[base + i0 + n1 * (i1 + n1 * i2)];
+                    let idx = [i0, i1, i2];
+                    for e in 0..3 {
+                        let mut w = 1.0;
+                        for d in 0..3 {
+                            w *= if d == e { g[d][idx[d]] } else { v[d][idx[d]] };
+                        }
+                        for d in 0..3 {
+                            jac[d][e] += w * pt[d];
+                        }
+                    }
+                }
+            }
+        }
+        jac
+    }
+}
+
+/// Invert a 3×3 matrix; returns (inverse, determinant).
+pub fn invert3(j: [[f64; 3]; 3]) -> ([[f64; 3]; 3], f64) {
+    let c = [
+        [
+            j[1][1] * j[2][2] - j[1][2] * j[2][1],
+            j[0][2] * j[2][1] - j[0][1] * j[2][2],
+            j[0][1] * j[1][2] - j[0][2] * j[1][1],
+        ],
+        [
+            j[1][2] * j[2][0] - j[1][0] * j[2][2],
+            j[0][0] * j[2][2] - j[0][2] * j[2][0],
+            j[0][2] * j[1][0] - j[0][0] * j[1][2],
+        ],
+        [
+            j[1][0] * j[2][1] - j[1][1] * j[2][0],
+            j[0][1] * j[2][0] - j[0][0] * j[2][1],
+            j[0][0] * j[1][1] - j[0][1] * j[1][0],
+        ],
+    ];
+    let det = j[0][0] * c[0][0] + j[0][1] * c[1][0] + j[0][2] * c[2][0];
+    let inv_det = 1.0 / det;
+    let mut inv = [[0.0; 3]; 3];
+    for r in 0..3 {
+        for col in 0..3 {
+            inv[r][col] = c[r][col] * inv_det;
+        }
+    }
+    (inv, det)
+}
+
+/// Per-cell-batch metric data at the `n_q^3` quadrature points.
+pub struct CellGeometry<T: Real, const L: usize> {
+    /// `(J^{-T})` entries: layout `q*9 + 3*r + c`.
+    pub jinvt: Vec<Simd<T, L>>,
+    /// `det(J) * w_q` per quadrature point.
+    pub jxw: Vec<Simd<T, L>>,
+    /// Physical quadrature-point positions: `q*3 + d` (used only by
+    /// right-hand-side assembly and error norms, never streamed by the
+    /// operator kernels).
+    pub positions: Vec<Simd<T, L>>,
+}
+
+/// Per-face-batch metric data at the `n_q^2` face quadrature points
+/// (minus-frame ordering, restricted to the subface for hanging faces).
+pub struct FaceGeometry<T: Real, const L: usize> {
+    /// `J_minus^{-1} n` per point (3 entries each): `q*3 + d`.
+    pub g_minus: Vec<Simd<T, L>>,
+    /// `J_plus^{-1} n` per point; empty for boundary faces.
+    pub g_plus: Vec<Simd<T, L>>,
+    /// Physical unit normal (minus → plus): `q*3 + d`.
+    pub normal: Vec<Simd<T, L>>,
+    /// Area element × quadrature weight per point.
+    pub jxw: Vec<Simd<T, L>>,
+    /// Physical quadrature-point positions: `q*3 + d` (boundary-condition
+    /// evaluation).
+    pub positions: Vec<Simd<T, L>>,
+    /// Interior-penalty coefficient per lane (already includes `(k+1)^2`
+    /// and the surface/volume length scale).
+    pub sigma: Simd<T, L>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgflow_mesh::{CoarseMesh, TrilinearManifold};
+
+    #[test]
+    fn mapping_reproduces_affine_geometry() {
+        let mut forest = Forest::new(CoarseMesh::subdivided_box([2, 1, 1], [4.0, 1.0, 2.0]));
+        forest.refine_global(1);
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let mapping = Mapping::build(&forest, &manifold, 2);
+        // cell 0 is the SFC-first child of tree 0: [0,1]x[0,0.5]x[0,1] scaled
+        let cell = forest.active_cell(0);
+        let (lo, h) = cell.ref_bounds();
+        let p = mapping.position(0, [0.5, 0.5, 0.5]);
+        let expect = [
+            2.0 * (lo[0] + 0.5 * h), // tree 0 spans [0,2] in x
+            lo[1] + 0.5 * h,
+            2.0 * (lo[2] + 0.5 * h),
+        ];
+        for d in 0..3 {
+            assert!((p[d] - expect[d]).abs() < 1e-13, "{p:?} vs {expect:?}");
+        }
+        let j = mapping.jacobian(0, [0.3, 0.6, 0.2]);
+        // affine: J = diag(2h, h, 2h)
+        for d in 0..3 {
+            for e in 0..3 {
+                let expect = if d == e {
+                    [2.0 * h, h, 2.0 * h][d]
+                } else {
+                    0.0
+                };
+                assert!((j[d][e] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invert3_roundtrip() {
+        let j = [[2.0, 0.3, 0.1], [0.0, 1.5, 0.2], [0.4, 0.0, 3.0]];
+        let (inv, det) = invert3(j);
+        assert!(det > 0.0);
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += j[r][k] * inv[k][c];
+                }
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    struct Paraboloid;
+    impl Manifold for Paraboloid {
+        fn position(&self, _tree: usize, xi: [f64; 3]) -> [f64; 3] {
+            [xi[0], xi[1], xi[2] + 0.25 * xi[0] * xi[0]]
+        }
+    }
+
+    #[test]
+    fn curved_mapping_jacobian_matches_analytic() {
+        let forest = Forest::new(CoarseMesh::hyper_cube());
+        let mapping = Mapping::build(&forest, &Paraboloid, 3);
+        let xi = [0.37, 0.81, 0.22];
+        let j = mapping.jacobian(0, xi);
+        // analytic: dz/dx = 0.5 x (degree-2 exactly representable at m=3)
+        assert!((j[2][0] - 0.5 * xi[0]).abs() < 1e-12);
+        assert!((j[0][0] - 1.0).abs() < 1e-12);
+        assert!((j[1][1] - 1.0).abs() < 1e-12);
+        assert!((j[2][2] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Symmetric interior penalty (SIPG) discretization of the Laplacian —
+//! the operator of the pressure Poisson equation (2) and the building
+//! block of the viscous step.
+
+use crate::batch::FaceBatch;
+use crate::evaluator::{
+    evaluate_face, evaluate_gradients, evaluate_values, gather_cell, gather_face_cells, integrate,
+    integrate_face, scatter_add_cell, scatter_add_face_cells, CellScratch, FaceScratch,
+    FaceSideDesc,
+};
+use crate::matrixfree::MatrixFree;
+use crate::util::SharedMut;
+use dgflow_simd::{Real, Simd};
+use dgflow_solvers::LinearOperator;
+use std::sync::Arc;
+
+/// Boundary treatment per boundary id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryCondition {
+    /// Value prescribed weakly (Nitsche/SIPG); the operator applies the
+    /// homogeneous part, inhomogeneous data enters the right-hand side.
+    Dirichlet,
+    /// Prescribed normal derivative; no operator face term.
+    Neumann,
+}
+
+/// Matrix-free SIPG Laplacian.
+pub struct LaplaceOperator<T: Real, const L: usize> {
+    /// The matrix-free context.
+    pub mf: Arc<MatrixFree<T, L>>,
+    /// Boundary condition per boundary id (defaults to Dirichlet for ids
+    /// beyond the list).
+    pub bc: Vec<BoundaryCondition>,
+}
+
+impl<T: Real, const L: usize> LaplaceOperator<T, L> {
+    /// Create with all boundaries Dirichlet.
+    pub fn new(mf: Arc<MatrixFree<T, L>>) -> Self {
+        Self { mf, bc: Vec::new() }
+    }
+
+    /// Create with explicit per-id boundary conditions.
+    pub fn with_bc(mf: Arc<MatrixFree<T, L>>, bc: Vec<BoundaryCondition>) -> Self {
+        Self { mf, bc }
+    }
+
+    /// Boundary condition of a boundary id.
+    pub fn bc_of(&self, id: u32) -> BoundaryCondition {
+        self.bc
+            .get(id as usize)
+            .copied()
+            .unwrap_or(BoundaryCondition::Dirichlet)
+    }
+
+    fn cell_kernel(&self, bi: usize, src: &[T], dst: &SharedMut<T>, s: &mut CellScratch<T, L>) {
+        let mf = &*self.mf;
+        let b = &mf.cell_batches[bi];
+        let g = &mf.cell_geometry[bi];
+        let dpc = mf.dofs_per_cell;
+        let nq3 = mf.n_q().pow(3);
+        gather_cell(b, src, dpc, 0, dpc, &mut s.dofs);
+        evaluate_values(mf, s);
+        evaluate_gradients(mf, s);
+        for q in 0..nq3 {
+            let gr = [s.grad[0][q], s.grad[1][q], s.grad[2][q]];
+            let jxw = g.jxw[q];
+            let m = &g.jinvt[q * 9..q * 9 + 9];
+            // physical gradient t_r = Σ_c (J^{-T})_{rc} g_c, scaled by JxW
+            let mut t = [Simd::<T, L>::zero(); 3];
+            for r in 0..3 {
+                t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2]) * jxw;
+            }
+            // back to reference for the test function: out_c = Σ_r (J^{-T})_{rc} t_r
+            for c in 0..3 {
+                s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
+            }
+        }
+        integrate(mf, s, false, true);
+        scatter_add_cell(b, &s.dofs, dpc, 0, dpc, dst);
+    }
+
+    fn face_kernel(
+        &self,
+        bi: usize,
+        src: &[T],
+        dst: &SharedMut<T>,
+        sm: &mut FaceScratch<T, L>,
+        sp: &mut FaceScratch<T, L>,
+    ) {
+        let mf = &*self.mf;
+        let b: &FaceBatch<L> = &mf.face_batches[bi];
+        let g = &mf.face_geometry[bi];
+        let dpc = mf.dofs_per_cell;
+        let nq2 = mf.n_q() * mf.n_q();
+        let cat = b.category;
+        if cat.is_boundary && self.bc_of(cat.boundary_id) == BoundaryCondition::Neumann {
+            return;
+        }
+        let desc_m = FaceSideDesc::minus(b);
+        gather_face_cells(&b.minus, b.n_filled, src, dpc, 0, dpc, &mut sm.dofs);
+        evaluate_face(mf, desc_m, true, sm);
+        if cat.is_boundary {
+            for q in 0..nq2 {
+                let u = sm.val[q];
+                let dn = sm.grad[0][q] * g.g_minus[q * 3]
+                    + sm.grad[1][q] * g.g_minus[q * 3 + 1]
+                    + sm.grad[2][q] * g.g_minus[q * 3 + 2];
+                let jxw = g.jxw[q];
+                // mirror ghost: u+ = -u-, ∂n u+ = ∂n u-
+                let vflux = (u * g.sigma * T::from_f64(2.0) - dn) * jxw;
+                let gsc = -(u * jxw);
+                sm.val[q] = vflux;
+                for d in 0..3 {
+                    sm.grad[d][q] = g.g_minus[q * 3 + d] * gsc;
+                }
+            }
+            integrate_face(mf, desc_m, true, sm);
+            scatter_add_face_cells(&b.minus, b.n_filled, &sm.dofs, dpc, 0, dpc, dst);
+            return;
+        }
+        let desc_p = FaceSideDesc::plus(b);
+        gather_face_cells(&b.plus, b.n_filled, src, dpc, 0, dpc, &mut sp.dofs);
+        evaluate_face(mf, desc_p, true, sp);
+        let half = T::from_f64(0.5);
+        for q in 0..nq2 {
+            let um = sm.val[q];
+            let up = sp.val[q];
+            let dnm = sm.grad[0][q] * g.g_minus[q * 3]
+                + sm.grad[1][q] * g.g_minus[q * 3 + 1]
+                + sm.grad[2][q] * g.g_minus[q * 3 + 2];
+            let dnp = sp.grad[0][q] * g.g_plus[q * 3]
+                + sp.grad[1][q] * g.g_plus[q * 3 + 1]
+                + sp.grad[2][q] * g.g_plus[q * 3 + 2];
+            let jxw = g.jxw[q];
+            let jump = um - up;
+            let vflux = (jump * g.sigma - (dnm + dnp) * half) * jxw;
+            let gsc = -(jump * half * jxw);
+            sm.val[q] = vflux;
+            sp.val[q] = -vflux;
+            for d in 0..3 {
+                sm.grad[d][q] = g.g_minus[q * 3 + d] * gsc;
+                sp.grad[d][q] = g.g_plus[q * 3 + d] * gsc;
+            }
+        }
+        integrate_face(mf, desc_m, true, sm);
+        scatter_add_face_cells(&b.minus, b.n_filled, &sm.dofs, dpc, 0, dpc, dst);
+        integrate_face(mf, desc_p, true, sp);
+        scatter_add_face_cells(&b.plus, b.n_filled, &sp.dofs, dpc, 0, dpc, dst);
+    }
+
+    /// Assemble the right-hand side contribution of inhomogeneous Dirichlet
+    /// data `g` (added to any volumetric right-hand side).
+    pub fn boundary_rhs(&self, gfun: &(dyn Fn([f64; 3]) -> f64 + Sync)) -> Vec<T> {
+        self.boundary_rhs_by_id(&|_, x| gfun(x))
+    }
+
+    /// Like [`LaplaceOperator::boundary_rhs`] but the data may depend on the
+    /// boundary id (per-outlet pressures in the lung application).
+    pub fn boundary_rhs_by_id(&self, gfun: &(dyn Fn(u32, [f64; 3]) -> f64 + Sync)) -> Vec<T> {
+        let mf = &*self.mf;
+        let mut rhs = vec![T::ZERO; mf.n_dofs()];
+        let dst = SharedMut::new(&mut rhs);
+        let dpc = mf.dofs_per_cell;
+        let nq2 = mf.n_q() * mf.n_q();
+        // boundary batches are disjoint in their minus cells only across
+        // colors; run serially (assembly happens once)
+        let mut sm = FaceScratch::<T, L>::new(mf);
+        for (bi, b) in mf.face_batches.iter().enumerate() {
+            let cat = b.category;
+            if !cat.is_boundary || self.bc_of(cat.boundary_id) != BoundaryCondition::Dirichlet {
+                continue;
+            }
+            let g = &mf.face_geometry[bi];
+            for q in 0..nq2 {
+                let mut gv = Simd::<T, L>::zero();
+                for l in 0..b.n_filled {
+                    let x = [
+                        g.positions[q * 3][l].to_f64(),
+                        g.positions[q * 3 + 1][l].to_f64(),
+                        g.positions[q * 3 + 2][l].to_f64(),
+                    ];
+                    gv[l] = T::from_f64(gfun(cat.boundary_id, x));
+                }
+                let jxw = g.jxw[q];
+                // F_Γ(v) = ∫ 2σ g v − g ∂n v  (symmetric Nitsche lifting)
+                sm.val[q] = gv * g.sigma * T::from_f64(2.0) * jxw;
+                for d in 0..3 {
+                    sm.grad[d][q] = -(g.g_minus[q * 3 + d] * gv * jxw);
+                }
+            }
+            integrate_face(mf, FaceSideDesc::minus(b), true, &mut sm);
+            scatter_add_face_cells(&b.minus, b.n_filled, &sm.dofs, dpc, 0, dpc, &dst);
+        }
+        rhs
+    }
+
+    /// Exact operator diagonal (for Jacobi/Chebyshev smoothing): local cell
+    /// blocks plus the own-side face blocks, computed by applying the local
+    /// kernels to unit vectors.
+    pub fn compute_diagonal(&self) -> Vec<T> {
+        let mf = &*self.mf;
+        let dpc = mf.dofs_per_cell;
+        let mut diag = vec![T::ZERO; mf.n_dofs()];
+        let dst = SharedMut::new(&mut diag);
+        let n_batches = mf.cell_batches.len();
+        // cell contributions
+        dgflow_comm::parallel_for_chunks(n_batches, 1, |range| {
+            let mut s = CellScratch::<T, L>::new(mf);
+            let nq3 = mf.n_q().pow(3);
+            for bi in range {
+                let b = &mf.cell_batches[bi];
+                let g = &mf.cell_geometry[bi];
+                for i in 0..dpc {
+                    for v in s.dofs.iter_mut() {
+                        *v = Simd::zero();
+                    }
+                    s.dofs[i] = Simd::splat(T::ONE);
+                    evaluate_values(mf, &mut s);
+                    evaluate_gradients(mf, &mut s);
+                    for q in 0..nq3 {
+                        let gr = [s.grad[0][q], s.grad[1][q], s.grad[2][q]];
+                        let jxw = g.jxw[q];
+                        let m = &g.jinvt[q * 9..q * 9 + 9];
+                        let mut t = [Simd::<T, L>::zero(); 3];
+                        for r in 0..3 {
+                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1]
+                                + gr[2] * m[3 * r + 2])
+                                * jxw;
+                        }
+                        for c in 0..3 {
+                            s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
+                        }
+                    }
+                    integrate(mf, &mut s, false, true);
+                    for l in 0..b.n_filled {
+                        // SAFETY: disjoint cells per chunk
+                        unsafe {
+                            *dst.at(dpc * b.cells[l] as usize + i) += s.dofs[i][l];
+                        }
+                    }
+                }
+            }
+        });
+        // face contributions (own-side blocks only; the coupling blocks do
+        // not touch the diagonal); colored like apply() so concurrent
+        // batches never share a cell
+        let nq2 = mf.n_q() * mf.n_q();
+        for color in &mf.face_colors {
+            dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
+            let mut s = FaceScratch::<T, L>::new(mf);
+            for k in range {
+                let bi = color[k];
+                let b = &mf.face_batches[bi];
+                let cat = b.category;
+                if cat.is_boundary && self.bc_of(cat.boundary_id) == BoundaryCondition::Neumann {
+                    continue;
+                }
+                let g = &mf.face_geometry[bi];
+                let half = T::from_f64(0.5);
+                for (side_idx, (cells, desc)) in [
+                    (&b.minus, FaceSideDesc::minus(b)),
+                    (&b.plus, FaceSideDesc::plus(b)),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    if cat.is_boundary && side_idx == 1 {
+                        break;
+                    }
+                    let gvec = if side_idx == 0 { &g.g_minus } else { &g.g_plus };
+                    // jump sign: [[u]] = u- - u+
+                    let jsign = if side_idx == 0 { T::ONE } else { -T::ONE };
+                    for i in 0..dpc {
+                        for v in s.dofs.iter_mut() {
+                            *v = Simd::zero();
+                        }
+                        s.dofs[i] = Simd::splat(T::ONE);
+                        evaluate_face(mf, desc, true, &mut s);
+                        for q in 0..nq2 {
+                            let u = s.val[q];
+                            let dn = s.grad[0][q] * gvec[q * 3]
+                                + s.grad[1][q] * gvec[q * 3 + 1]
+                                + s.grad[2][q] * gvec[q * 3 + 2];
+                            let jxw = g.jxw[q];
+                            let (vflux, gsc) = if cat.is_boundary {
+                                ((u * g.sigma * T::from_f64(2.0) - dn) * jxw, -(u * jxw))
+                            } else {
+                                // own-side only: other side's trace is 0
+                                let jump = u * jsign;
+                                let vflux = (jump * g.sigma - dn * half) * jxw * jsign;
+                                let gsc = -(jump * half * jxw);
+                                (vflux, gsc)
+                            };
+                            s.val[q] = vflux;
+                            for d in 0..3 {
+                                s.grad[d][q] = gvec[q * 3 + d] * gsc;
+                            }
+                        }
+                        integrate_face(mf, desc, true, &mut s);
+                        for l in 0..b.n_filled {
+                            if cells[l] == u32::MAX {
+                                continue;
+                            }
+                            let idx = dpc * cells[l] as usize + i;
+                            let v = s.dofs[i][l];
+                            // SAFETY: batches within a color share no cells
+                            unsafe {
+                                *dst.at(idx) += v;
+                            }
+                        }
+                    }
+                }
+            }
+            });
+        }
+        diag
+    }
+}
+
+impl<T: Real, const L: usize> LinearOperator<T> for LaplaceOperator<T, L> {
+    fn len(&self) -> usize {
+        self.mf.n_dofs()
+    }
+
+    fn apply(&self, src: &[T], dst: &mut [T]) {
+        let mf = &*self.mf;
+        dst.iter_mut().for_each(|v| *v = T::ZERO);
+        let out = SharedMut::new(dst);
+        let n_cb = mf.cell_batches.len();
+        dgflow_comm::parallel_for_chunks(n_cb, 1, |range| {
+            let mut s = CellScratch::<T, L>::new(mf);
+            for bi in range {
+                self.cell_kernel(bi, src, &out, &mut s);
+            }
+        });
+        for color in &mf.face_colors {
+            dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
+                let mut sm = FaceScratch::<T, L>::new(mf);
+                let mut sp = FaceScratch::<T, L>::new(mf);
+                for k in range {
+                    self.face_kernel(color[k], src, &out, &mut sm, &mut sp);
+                }
+            });
+        }
+    }
+
+    fn diagonal(&self) -> Vec<T> {
+        self.compute_diagonal()
+    }
+}

@@ -1,0 +1,54 @@
+//! Small utilities for the parallel loops.
+
+/// A raw mutable pointer that may be shared across the threads of a
+/// `parallel_for`, under the caller-checked invariant that concurrent
+/// writers touch disjoint index sets (cell loops write per-cell blocks;
+/// face loops are conflict-colored).
+#[derive(Clone, Copy)]
+pub struct SharedMut<T>(*mut T);
+
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Wrap a slice for disjoint parallel writes.
+    pub fn new(slice: &mut [T]) -> Self {
+        Self(slice.as_mut_ptr())
+    }
+
+    /// Write `value` at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently accessed.
+    #[inline(always)]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        unsafe { *self.0.add(idx) = value }
+    }
+
+    /// Get a mutable reference at `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently accessed.
+    #[inline(always)]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn at(&self, idx: usize) -> &mut T {
+        unsafe { &mut *self.0.add(idx) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let mut v = vec![0usize; 1000];
+        let p = SharedMut::new(&mut v);
+        dgflow_comm::parallel_for_chunks(1000, 16, |range| {
+            for i in range {
+                unsafe { p.write(i, i * 2) };
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the face kernels: `integrate_face` must be the
+//! exact transpose of `evaluate_face` for every face category that occurs
+//! on a mesh with hanging subfaces and rotated tree-to-tree orientations —
+//! the identity the symmetry of the SIPG operator rests on.
+
+use dgflow_fem::evaluator::{evaluate_face, integrate_face, FaceScratch, FaceSideDesc};
+use dgflow_fem::{MatrixFree, MfParams};
+use dgflow_mesh::{CoarseMesh, Forest, TrilinearManifold};
+use dgflow_simd::Simd;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const L: usize = 4;
+
+/// A forest combining hanging faces and a rotated tree-to-tree interface.
+fn gnarly_forest() -> Forest {
+    let mut vertices = Vec::new();
+    for k in 0..2 {
+        for j in 0..2 {
+            for i in 0..3 {
+                vertices.push([i as f64, j as f64, k as f64]);
+            }
+        }
+    }
+    let vid = |i: usize, j: usize, k: usize| i + 3 * (j + 2 * k);
+    let c0 = [
+        vid(0, 0, 0),
+        vid(1, 0, 0),
+        vid(0, 1, 0),
+        vid(1, 1, 0),
+        vid(0, 0, 1),
+        vid(1, 0, 1),
+        vid(0, 1, 1),
+        vid(1, 1, 1),
+    ];
+    // rotated neighbor
+    let c1 = [
+        vid(1, 1, 0),
+        vid(2, 1, 0),
+        vid(1, 1, 1),
+        vid(2, 1, 1),
+        vid(1, 0, 0),
+        vid(2, 0, 0),
+        vid(1, 0, 1),
+        vid(2, 0, 1),
+    ];
+    let coarse = CoarseMesh {
+        vertices,
+        cells: vec![c0, c1],
+        boundary_ids: Default::default(),
+    };
+    let mut f = Forest::new(coarse);
+    f.refine_global(1);
+    let mut marks = vec![false; f.n_active()];
+    marks[0] = true;
+    marks[9] = true;
+    f.refine_active(&marks);
+    f
+}
+
+fn build(degree: usize) -> Arc<MatrixFree<f64, L>> {
+    let forest = gnarly_forest();
+    let manifold = TrilinearManifold::from_forest(&forest);
+    Arc::new(MatrixFree::new(&forest, &manifold, MfParams::dg(degree)))
+}
+
+fn pseudo(i: usize, seed: u64) -> f64 {
+    ((i as u64)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(seed.wrapping_mul(1442695040888963407))
+        >> 33) as f64
+        / (1u64 << 31) as f64
+        - 0.5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// ⟨F, E(d)⟩ = ⟨Eᵀ(F), d⟩ for every face batch (minus and plus sides,
+    /// hanging subfaces, non-identity orientations), with and without
+    /// gradient data.
+    #[test]
+    fn face_integrate_is_adjoint_of_evaluate(
+        degree in 2usize..4,
+        seed in 0u64..500,
+        with_grad in any::<bool>(),
+    ) {
+        let mf = build(degree);
+        let dpc = mf.dofs_per_cell;
+        let nq2 = mf.n_q() * mf.n_q();
+        let mut s_eval = FaceScratch::<f64, L>::new(&mf);
+        let mut s_int = FaceScratch::<f64, L>::new(&mf);
+        for (bi, b) in mf.face_batches.iter().enumerate() {
+            let _ = bi;
+            let sides: Vec<FaceSideDesc> = if b.category.is_boundary {
+                vec![FaceSideDesc::minus(b)]
+            } else {
+                vec![FaceSideDesc::minus(b), FaceSideDesc::plus(b)]
+            };
+            for side in sides {
+                // random nodal data d
+                let d: Vec<Simd<f64, L>> = (0..dpc)
+                    .map(|i| Simd::from_fn(|l| pseudo(i * L + l, seed)))
+                    .collect();
+                // random flux data F (values and optionally gradients)
+                let fv: Vec<Simd<f64, L>> = (0..nq2)
+                    .map(|q| Simd::from_fn(|l| pseudo(q * L + l + 7777, seed)))
+                    .collect();
+                let fg: [Vec<Simd<f64, L>>; 3] = std::array::from_fn(|dd| {
+                    (0..nq2)
+                        .map(|q| {
+                            Simd::from_fn(|l| {
+                                if with_grad {
+                                    pseudo(q * L + l + 31 * (dd + 1), seed)
+                                } else {
+                                    0.0
+                                }
+                            })
+                        })
+                        .collect()
+                });
+                // E(d)
+                s_eval.dofs.copy_from_slice(&d);
+                evaluate_face(&mf, side, with_grad, &mut s_eval);
+                // Eᵀ(F)
+                s_int.val.copy_from_slice(&fv);
+                for dd in 0..3 {
+                    s_int.grad[dd].copy_from_slice(&fg[dd]);
+                }
+                integrate_face(&mf, side, with_grad, &mut s_int);
+                // lane-wise pairing
+                for l in 0..b.n_filled {
+                    let mut lhs = 0.0;
+                    for q in 0..nq2 {
+                        lhs += fv[q][l] * s_eval.val[q][l];
+                        if with_grad {
+                            for dd in 0..3 {
+                                lhs += fg[dd][q][l] * s_eval.grad[dd][q][l];
+                            }
+                        }
+                    }
+                    let mut rhs = 0.0;
+                    for i in 0..dpc {
+                        rhs += s_int.dofs[i][l] * d[i][l];
+                    }
+                    prop_assert!(
+                        (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0),
+                        "category {:?}, lane {l}: {lhs} vs {rhs}",
+                        b.category
+                    );
+                }
+            }
+        }
+    }
+}

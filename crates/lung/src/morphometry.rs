@@ -1,0 +1,170 @@
+//! Morphometric analysis of generated airway trees.
+//!
+//! The paper's footnote 2 points out that "generations" only characterize
+//! tree complexity for Weibel-type (symmetric) trees and that Horsfield
+//! ordering is the right metric for asymmetric ones — this module computes
+//! both, plus Strahler orders and per-generation statistics, so generated
+//! trees can be compared against the morphometric literature
+//! (Weibel [60], Horsfield & Cumming [34], Tawhai [57]).
+
+use crate::tree::AirwayTree;
+
+/// Per-branch orders and aggregate statistics.
+#[derive(Clone, Debug)]
+pub struct Morphometry {
+    /// Horsfield order per branch: terminals are 1, a parent is
+    /// `max(children) + 1`.
+    pub horsfield: Vec<usize>,
+    /// Strahler order per branch: terminals are 1, a parent of two children
+    /// of equal order `s` gets `s + 1`, otherwise the maximum.
+    pub strahler: Vec<usize>,
+    /// Mean diameter per generation.
+    pub mean_diameter_per_generation: Vec<f64>,
+    /// Branch count per generation.
+    pub count_per_generation: Vec<usize>,
+    /// Mean daughter/parent diameter ratio over all branches.
+    pub mean_diameter_ratio: f64,
+    /// Mean length/diameter ratio.
+    pub mean_length_over_diameter: f64,
+    /// Horsfield branching ratio `R_b` (antilog of the slope of
+    /// log-count vs order) — human lungs measure ≈ 1.38–1.42 per Horsfield.
+    pub branching_ratio: f64,
+}
+
+/// Compute all morphometric quantities of a tree.
+pub fn analyze(tree: &AirwayTree) -> Morphometry {
+    let n = tree.branches.len();
+    let mut horsfield = vec![0usize; n];
+    let mut strahler = vec![0usize; n];
+    // children come after parents in construction order, so a reverse
+    // sweep resolves both orders bottom-up
+    let order: Vec<usize> = (0..n).rev().collect();
+    for &i in &order {
+        let b = &tree.branches[i];
+        if b.children.is_empty() {
+            horsfield[i] = 1;
+            strahler[i] = 1;
+        } else {
+            horsfield[i] = b.children.iter().map(|&c| horsfield[c]).max().unwrap() + 1;
+            let s: Vec<usize> = b.children.iter().map(|&c| strahler[c]).collect();
+            let smax = *s.iter().max().unwrap();
+            let all_equal_max = s.iter().all(|&x| x == smax) && s.len() > 1;
+            strahler[i] = if all_equal_max { smax + 1 } else { smax };
+        }
+    }
+    let gmax = tree.max_generation();
+    let mut mean_d = vec![0.0; gmax + 1];
+    let mut count = vec![0usize; gmax + 1];
+    for b in &tree.branches {
+        mean_d[b.generation] += b.diameter;
+        count[b.generation] += 1;
+    }
+    for (d, &c) in mean_d.iter_mut().zip(&count) {
+        if c > 0 {
+            *d /= c as f64;
+        }
+    }
+    let mut ratio_sum = 0.0;
+    let mut ratio_n = 0;
+    let mut lod_sum = 0.0;
+    for b in &tree.branches {
+        lod_sum += b.length / b.diameter;
+        if let Some(p) = b.parent {
+            ratio_sum += b.diameter / tree.branches[p].diameter;
+            ratio_n += 1;
+        }
+    }
+    // Horsfield branching ratio from a least-squares fit of
+    // ln N(order) = a − order·ln R_b
+    let max_order = *horsfield.iter().max().unwrap();
+    let mut n_of_order = vec![0usize; max_order + 1];
+    for &h in &horsfield {
+        n_of_order[h] += 1;
+    }
+    let pts: Vec<(f64, f64)> = (1..=max_order)
+        .filter(|&o| n_of_order[o] > 0)
+        .map(|o| (o as f64, (n_of_order[o] as f64).ln()))
+        .collect();
+    let branching_ratio = if pts.len() >= 2 {
+        let nn = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let slope = (nn * sxy - sx * sy) / (nn * sxx - sx * sx);
+        (-slope).exp()
+    } else {
+        f64::NAN
+    };
+    Morphometry {
+        horsfield,
+        strahler,
+        mean_diameter_per_generation: mean_d,
+        count_per_generation: count,
+        mean_diameter_ratio: ratio_sum / ratio_n.max(1) as f64,
+        mean_length_over_diameter: lod_sum / n as f64,
+        branching_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    #[test]
+    fn complete_tree_orders_match_generations() {
+        // symmetric complete tree: Horsfield order = Strahler order =
+        // g_max − generation + 1
+        let mut p = TreeParams::adult(4);
+        p.min_diameter = 0.0;
+        let tree = AirwayTree::grow(p);
+        let m = analyze(&tree);
+        for (i, b) in tree.branches.iter().enumerate() {
+            let expect = 4 - b.generation + 1;
+            assert_eq!(m.horsfield[i], expect, "branch {i}");
+            assert_eq!(m.strahler[i], expect, "branch {i}");
+        }
+        // complete binary tree: branching ratio = 2
+        assert!((m.branching_ratio - 2.0).abs() < 0.05, "{}", m.branching_ratio);
+    }
+
+    #[test]
+    fn asymmetric_tree_has_horsfield_above_strahler() {
+        let tree = AirwayTree::grow(TreeParams::adult(9));
+        let m = analyze(&tree);
+        // trachea orders
+        assert!(m.horsfield[0] >= m.strahler[0]);
+        assert!(m.horsfield[0] == 10, "trachea Horsfield {}", m.horsfield[0]);
+        // asymmetric termination → Strahler collapses below Horsfield
+        assert!(m.strahler[0] < m.horsfield[0]);
+    }
+
+    #[test]
+    fn morphometric_ratios_match_configuration() {
+        let params = TreeParams::adult(7);
+        let tree = AirwayTree::grow(params);
+        let m = analyze(&tree);
+        // mean daughter/parent ratio between the minor and major ratios
+        assert!(m.mean_diameter_ratio > params.minor_ratio);
+        assert!(m.mean_diameter_ratio < params.major_ratio);
+        assert!((m.mean_length_over_diameter - params.length_over_diameter).abs() < 0.2);
+        // diameters decrease with generation
+        for w in m.mean_diameter_per_generation.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn human_like_branching_ratio() {
+        // an asymmetric g=11 tree should land near the literature R_b ≈
+        // 1.4 (Horsfield), far from the symmetric value 2
+        let tree = AirwayTree::grow(TreeParams::adult(11));
+        let m = analyze(&tree);
+        assert!(
+            m.branching_ratio > 1.15 && m.branching_ratio < 2.0,
+            "R_b = {}",
+            m.branching_ratio
+        );
+    }
+}

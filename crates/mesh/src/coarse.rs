@@ -1,0 +1,265 @@
+//! Unstructured coarse meshes of hexahedra and their face connectivity.
+
+use crate::topology::{face_vertices, FaceOrientation};
+use std::collections::HashMap;
+
+/// An unstructured coarse mesh: shared vertices and hex cells given by their
+/// 8 vertex ids in lexicographic order. Every coarse cell becomes the root
+/// of one octree in a [`crate::Forest`].
+#[derive(Clone, Debug, Default)]
+pub struct CoarseMesh {
+    /// Vertex coordinates.
+    pub vertices: Vec<[f64; 3]>,
+    /// Cells as 8 vertex indices (lexicographic: `v = x + 2y + 4z`).
+    pub cells: Vec<[usize; 8]>,
+    /// Optional boundary indicator per (cell, face); faces not present here
+    /// and without a neighbor get boundary id 0.
+    pub boundary_ids: HashMap<(usize, usize), u32>,
+}
+
+/// Neighbor record of one coarse cell face.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoarseNeighbor {
+    /// Neighboring coarse cell.
+    pub cell: usize,
+    /// Face number within the neighbor.
+    pub face: usize,
+    /// Orientation mapping this cell's face frame to the neighbor's.
+    pub orientation: FaceOrientation,
+}
+
+/// Face connectivity of a coarse mesh: for each (cell, face) either the
+/// neighbor or `None` (boundary).
+#[derive(Clone, Debug)]
+pub struct CoarseConnectivity {
+    neighbors: Vec<[Option<CoarseNeighbor>; 6]>,
+}
+
+impl CoarseMesh {
+    /// A single unit cube `[0,1]^3`.
+    pub fn hyper_cube() -> Self {
+        Self::subdivided_box([1, 1, 1], [1.0, 1.0, 1.0])
+    }
+
+    /// An axis-aligned box `[0,L0]×[0,L1]×[0,L2]` split into `n0×n1×n2`
+    /// coarse cells (each its own octree — exercises cross-tree code).
+    pub fn subdivided_box(n: [usize; 3], lengths: [f64; 3]) -> Self {
+        let nv = [n[0] + 1, n[1] + 1, n[2] + 1];
+        let mut vertices = Vec::with_capacity(nv[0] * nv[1] * nv[2]);
+        for k in 0..nv[2] {
+            for j in 0..nv[1] {
+                for i in 0..nv[0] {
+                    vertices.push([
+                        lengths[0] * i as f64 / n[0] as f64,
+                        lengths[1] * j as f64 / n[1] as f64,
+                        lengths[2] * k as f64 / n[2] as f64,
+                    ]);
+                }
+            }
+        }
+        let vid = |i: usize, j: usize, k: usize| i + nv[0] * (j + nv[1] * k);
+        let mut cells = Vec::with_capacity(n[0] * n[1] * n[2]);
+        for k in 0..n[2] {
+            for j in 0..n[1] {
+                for i in 0..n[0] {
+                    cells.push([
+                        vid(i, j, k),
+                        vid(i + 1, j, k),
+                        vid(i, j + 1, k),
+                        vid(i + 1, j + 1, k),
+                        vid(i, j, k + 1),
+                        vid(i + 1, j, k + 1),
+                        vid(i, j + 1, k + 1),
+                        vid(i + 1, j + 1, k + 1),
+                    ]);
+                }
+            }
+        }
+        Self {
+            vertices,
+            cells,
+            boundary_ids: HashMap::new(),
+        }
+    }
+
+    /// Number of coarse cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Global vertex ids of face `f` of cell `c`, in face-local order.
+    pub fn face_vertex_ids(&self, c: usize, f: usize) -> [usize; 4] {
+        let lv = face_vertices(f);
+        [
+            self.cells[c][lv[0]],
+            self.cells[c][lv[1]],
+            self.cells[c][lv[2]],
+            self.cells[c][lv[3]],
+        ]
+    }
+
+    /// Boundary id of a coarse boundary face (default 0).
+    pub fn boundary_id(&self, c: usize, f: usize) -> u32 {
+        *self.boundary_ids.get(&(c, f)).unwrap_or(&0)
+    }
+
+    /// Build the face connectivity by matching sorted face vertex sets.
+    pub fn connectivity(&self) -> CoarseConnectivity {
+        let mut map: HashMap<[usize; 4], (usize, usize)> = HashMap::new();
+        let mut neighbors = vec![[None; 6]; self.cells.len()];
+        for c in 0..self.cells.len() {
+            for f in 0..6 {
+                let ids = self.face_vertex_ids(c, f);
+                let mut key = ids;
+                key.sort_unstable();
+                if let Some(&(c2, f2)) = map.get(&key) {
+                    let ids2 = self.face_vertex_ids(c2, f2);
+                    let orientation = FaceOrientation::from_corner_match(ids, ids2)
+                        .expect("matched faces must share corner vertices");
+                    neighbors[c][f] = Some(CoarseNeighbor {
+                        cell: c2,
+                        face: f2,
+                        orientation,
+                    });
+                    neighbors[c2][f2] = Some(CoarseNeighbor {
+                        cell: c,
+                        face: f,
+                        orientation: orientation.inverse(),
+                    });
+                    map.remove(&key);
+                } else {
+                    map.insert(key, (c, f));
+                }
+            }
+        }
+        CoarseConnectivity { neighbors }
+    }
+
+    /// Bounding-box diagonal (used for tolerance scaling).
+    pub fn diameter(&self) -> f64 {
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for v in &self.vertices {
+            for d in 0..3 {
+                lo[d] = lo[d].min(v[d]);
+                hi[d] = hi[d].max(v[d]);
+            }
+        }
+        let mut s = 0.0;
+        for d in 0..3 {
+            s += (hi[d] - lo[d]).powi(2);
+        }
+        s.sqrt()
+    }
+}
+
+impl CoarseConnectivity {
+    /// Neighbor of (cell, face), if any.
+    pub fn neighbor(&self, cell: usize, face: usize) -> Option<CoarseNeighbor> {
+        self.neighbors[cell][face]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subdivided_box_counts() {
+        let m = CoarseMesh::subdivided_box([3, 2, 4], [3.0, 2.0, 4.0]);
+        assert_eq!(m.n_cells(), 24);
+        assert_eq!(m.vertices.len(), 4 * 3 * 5);
+    }
+
+    #[test]
+    fn hyper_cube_has_no_neighbors() {
+        let m = CoarseMesh::hyper_cube();
+        let conn = m.connectivity();
+        for f in 0..6 {
+            assert!(conn.neighbor(0, f).is_none());
+        }
+    }
+
+    #[test]
+    fn box_connectivity_is_symmetric_and_identity_oriented() {
+        let m = CoarseMesh::subdivided_box([2, 2, 2], [1.0; 3]);
+        let conn = m.connectivity();
+        let mut interior = 0;
+        for c in 0..8 {
+            for f in 0..6 {
+                if let Some(n) = conn.neighbor(c, f) {
+                    interior += 1;
+                    let back = conn.neighbor(n.cell, n.face).unwrap();
+                    assert_eq!(back.cell, c);
+                    assert_eq!(back.face, f);
+                    // aligned boxes: identity orientation, opposite faces
+                    assert_eq!(n.orientation, FaceOrientation::IDENTITY);
+                    assert_eq!(n.face ^ 1, f);
+                }
+            }
+        }
+        // 2x2x2 box: 12 interior faces, counted from both sides
+        assert_eq!(interior, 24);
+    }
+
+    #[test]
+    fn rotated_cell_pair_detects_nontrivial_orientation() {
+        // Two unit cubes sharing the x=1 face, but the second cube's vertex
+        // numbering is rotated 90° about the x-axis: its local (y,z) frame
+        // is (z, -y) of the first.
+        let mut vertices = Vec::new();
+        for k in 0..2 {
+            for j in 0..2 {
+                for i in 0..3 {
+                    vertices.push([i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let vid = |i: usize, j: usize, k: usize| i + 3 * (j + 2 * k);
+        let c0 = [
+            vid(0, 0, 0),
+            vid(1, 0, 0),
+            vid(0, 1, 0),
+            vid(1, 1, 0),
+            vid(0, 0, 1),
+            vid(1, 0, 1),
+            vid(0, 1, 1),
+            vid(1, 1, 1),
+        ];
+        // second cell: local x along global x, local y along global z,
+        // local z along global -y (a valid right-handed hex)
+        let c1 = [
+            vid(1, 1, 0),
+            vid(2, 1, 0),
+            vid(1, 1, 1),
+            vid(2, 1, 1),
+            vid(1, 0, 0),
+            vid(2, 0, 0),
+            vid(1, 0, 1),
+            vid(2, 0, 1),
+        ];
+        let m = CoarseMesh {
+            vertices,
+            cells: vec![c0, c1],
+            boundary_ids: HashMap::new(),
+        };
+        let conn = m.connectivity();
+        let n = conn.neighbor(0, 1).expect("faces must match");
+        assert_eq!(n.cell, 1);
+        assert_eq!(n.face, 0);
+        assert_ne!(n.orientation, FaceOrientation::IDENTITY);
+        // the inverse stored on the other side must act as the inverse
+        let back = conn.neighbor(1, 0).unwrap();
+        for &(a, b) in &[(0.3, 0.9), (0.0, 0.5)] {
+            let (s, t) = n.orientation.map_unit(a, b);
+            let (a2, b2) = back.orientation.map_unit(s, t);
+            assert!((a2 - a).abs() < 1e-14 && (b2 - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn boundary_ids_default_zero() {
+        let m = CoarseMesh::hyper_cube();
+        assert_eq!(m.boundary_id(0, 3), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Unstructured hexahedral meshes with forest-of-octrees refinement.
+//!
+//! This crate is the geometry/topology substrate that the paper obtains from
+//! deal.II + p4est (Sec. 3.3): unstructured coarse meshes of hexahedra where
+//! every coarse cell is the root of an octree, adaptively refined with 2:1
+//! balanced hanging faces, ordered and partitioned along a Morton
+//! space-filling curve, and equipped with high-order polynomial mappings
+//! through a [`Manifold`] abstraction (trilinear by default; the lung crate
+//! supplies cylinder/squircle manifolds).
+//!
+//! Conventions (lexicographic throughout):
+//! * reference cell `[0,1]^3`, vertex `v = x + 2y + 4z`;
+//! * faces `0..6` = `{x=0, x=1, y=0, y=1, z=0, z=1}`, normal direction
+//!   `face/2`, side `face%2`;
+//! * face-local frame: the two tangential axes in increasing order.
+
+pub mod coarse;
+pub mod forest;
+pub mod manifold;
+pub mod partition;
+pub mod quality;
+pub mod topology;
+
+pub use coarse::{CoarseConnectivity, CoarseMesh};
+pub use forest::{ActiveCell, FaceInfo, Forest};
+pub use manifold::{Manifold, TrilinearManifold};
+pub use partition::morton_partition;
+pub use quality::{assess_quality, QualityReport};
+pub use topology::{FaceOrientation, MAX_LEVEL};

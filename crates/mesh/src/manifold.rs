@@ -1,0 +1,94 @@
+//! Geometry description: map reference coordinates of a coarse cell to
+//! physical space.
+//!
+//! The paper stores a high-order polynomial description of the analytic
+//! geometry (cylinder / transfinite / ray-traced CT surface) by evaluating
+//! it once at auxiliary points in each cell (Heltai et al.). The same
+//! pattern here: a [`Manifold`] supplies exact positions; the FEM layer
+//! samples it at the mapping support points of each active cell at startup
+//! and works with the polynomial interpolant from then on.
+
+use crate::forest::Forest;
+
+/// Exact geometry of the computational domain, parameterized per octree.
+pub trait Manifold: Send + Sync {
+    /// Physical position of the point with reference coordinates
+    /// `xi ∈ [0,1]^3` inside coarse cell `tree`.
+    fn position(&self, tree: usize, xi: [f64; 3]) -> [f64; 3];
+}
+
+/// The default geometry: trilinear interpolation of the coarse cell's
+/// vertices (exact for meshes of straight-edged hexahedra).
+pub struct TrilinearManifold {
+    cells: Vec<[[f64; 3]; 8]>,
+}
+
+impl TrilinearManifold {
+    /// Capture the coarse-cell vertex coordinates of a forest.
+    pub fn from_forest(forest: &Forest) -> Self {
+        let cells = forest
+            .coarse
+            .cells
+            .iter()
+            .map(|c| {
+                let mut out = [[0.0; 3]; 8];
+                for (v, o) in out.iter_mut().enumerate() {
+                    *o = forest.coarse.vertices[c[v]];
+                }
+                out
+            })
+            .collect();
+        Self { cells }
+    }
+}
+
+/// Trilinear shape function of vertex `v` at `xi`.
+#[inline]
+pub fn trilinear_weight(v: usize, xi: [f64; 3]) -> f64 {
+    let mut w = 1.0;
+    for d in 0..3 {
+        let bit = ((v >> d) & 1) as f64;
+        w *= bit * xi[d] + (1.0 - bit) * (1.0 - xi[d]);
+    }
+    w
+}
+
+impl Manifold for TrilinearManifold {
+    fn position(&self, tree: usize, xi: [f64; 3]) -> [f64; 3] {
+        let verts = &self.cells[tree];
+        let mut p = [0.0; 3];
+        for (v, vert) in verts.iter().enumerate() {
+            let w = trilinear_weight(v, xi);
+            for d in 0..3 {
+                p[d] += w * vert[d];
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::CoarseMesh;
+
+    #[test]
+    fn trilinear_reproduces_vertices_and_center() {
+        let f = Forest::new(CoarseMesh::subdivided_box([2, 1, 1], [2.0, 1.0, 1.0]));
+        let m = TrilinearManifold::from_forest(&f);
+        assert_eq!(m.position(0, [0.0, 0.0, 0.0]), [0.0, 0.0, 0.0]);
+        assert_eq!(m.position(0, [1.0, 1.0, 1.0]), [1.0, 1.0, 1.0]);
+        assert_eq!(m.position(1, [1.0, 0.0, 0.0]), [2.0, 0.0, 0.0]);
+        let c = m.position(1, [0.5, 0.5, 0.5]);
+        assert!((c[0] - 1.5).abs() < 1e-14);
+        assert!((c[1] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trilinear_weights_partition_unity() {
+        for &xi in &[[0.3, 0.7, 0.1], [0.0, 0.5, 1.0]] {
+            let s: f64 = (0..8).map(|v| trilinear_weight(v, xi)).sum();
+            assert!((s - 1.0).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Space-filling-curve partitioning.
+//!
+//! Active cells are already produced in Morton order per tree, trees in
+//! index order — the same global ordering p4est exposes. Partitioning for
+//! `n` ranks therefore reduces to cutting the active list into `n`
+//! contiguous, equally weighted chunks.
+
+use crate::forest::Forest;
+
+/// Assign each active cell to one of `n_ranks` ranks by splitting the SFC
+/// ordering into contiguous chunks of (nearly) equal cell counts.
+/// Returns the rank of every active cell.
+pub fn morton_partition(forest: &Forest, n_ranks: usize) -> Vec<usize> {
+    assert!(n_ranks >= 1);
+    let n = forest.n_active();
+    let mut out = vec![0usize; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        // rank r owns cells [r*n/n_ranks, (r+1)*n/n_ranks)
+        *o = (i * n_ranks) / n.max(1);
+    }
+    // guard: clamp (exact arithmetic already guarantees < n_ranks)
+    for o in &mut out {
+        if *o >= n_ranks {
+            *o = n_ranks - 1;
+        }
+    }
+    out
+}
+
+/// Cells owned by each rank under [`morton_partition`] (rank → active ids).
+pub fn partition_chunks(forest: &Forest, n_ranks: usize) -> Vec<Vec<usize>> {
+    let owner = morton_partition(forest, n_ranks);
+    let mut chunks = vec![Vec::new(); n_ranks];
+    for (cell, &r) in owner.iter().enumerate() {
+        chunks[r].push(cell);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::CoarseMesh;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let mut f = Forest::new(CoarseMesh::subdivided_box([2, 2, 2], [1.0; 3]));
+        f.refine_global(2);
+        let n = f.n_active();
+        for ranks in [1, 3, 7, 16] {
+            let owner = morton_partition(&f, ranks);
+            // non-decreasing = contiguous chunks
+            for w in owner.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            let chunks = partition_chunks(&f, ranks);
+            let total: usize = chunks.iter().map(|c| c.len()).sum();
+            assert_eq!(total, n);
+            let max = chunks.iter().map(|c| c.len()).max().unwrap();
+            let min = chunks.iter().map(|c| c.len()).min().unwrap();
+            assert!(max - min <= 1, "imbalance {min}..{max} for {ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_cells_leaves_empty_ranks() {
+        let f = Forest::new(CoarseMesh::hyper_cube());
+        let chunks = partition_chunks(&f, 4);
+        assert_eq!(chunks.iter().filter(|c| !c.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn sfc_order_keeps_tree_cells_adjacent() {
+        let mut f = Forest::new(CoarseMesh::subdivided_box([3, 1, 1], [3.0, 1.0, 1.0]));
+        f.refine_global(1);
+        let trees: Vec<u32> = f.active_cells().map(|c| c.tree).collect();
+        // tree ids must be non-decreasing in SFC order
+        for w in trees.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Mesh quality metrics: Jacobian positivity margins, edge aspect ratios,
+//! volume spread — the numbers a mesh generator is judged by (the paper's
+//! Sec. 3.3 tuning of cross-section-to-length ratios).
+
+use crate::forest::Forest;
+use crate::manifold::Manifold;
+
+/// Quality summary of one mesh under a geometry.
+#[derive(Clone, Debug)]
+pub struct QualityReport {
+    /// Number of active cells inspected.
+    pub n_cells: usize,
+    /// Smallest corner-sampled Jacobian determinant, normalized by the
+    /// cell's mean (1 = perfectly affine, ≤ 0 = inverted).
+    pub min_scaled_jacobian: f64,
+    /// Largest edge-length ratio within a cell.
+    pub max_aspect_ratio: f64,
+    /// Ratio of largest to smallest cell volume.
+    pub volume_spread: f64,
+    /// Cells with a non-positive corner Jacobian.
+    pub n_inverted: usize,
+}
+
+fn det3(j: [[f64; 3]; 3]) -> f64 {
+    j[0][0] * (j[1][1] * j[2][2] - j[1][2] * j[2][1])
+        - j[0][1] * (j[1][0] * j[2][2] - j[1][2] * j[2][0])
+        + j[0][2] * (j[1][0] * j[2][1] - j[1][1] * j[2][0])
+}
+
+/// Inspect every active cell at its 8 corners (trilinear geometry sampled
+/// from the manifold — the corner Jacobians bound the trilinear map's
+/// validity).
+pub fn assess_quality(forest: &Forest, manifold: &dyn Manifold) -> QualityReport {
+    let mut min_scaled: f64 = f64::INFINITY;
+    let mut max_aspect: f64 = 0.0;
+    let mut vmin = f64::INFINITY;
+    let mut vmax: f64 = 0.0;
+    let mut n_inverted = 0;
+    for cell in forest.active_cells() {
+        let (lo, h) = cell.ref_bounds();
+        // corner positions from the manifold
+        let mut p = [[0.0; 3]; 8];
+        for (v, pv) in p.iter_mut().enumerate() {
+            let xi = [
+                lo[0] + h * (v & 1) as f64,
+                lo[1] + h * ((v >> 1) & 1) as f64,
+                lo[2] + h * ((v >> 2) & 1) as f64,
+            ];
+            *pv = manifold.position(cell.tree as usize, xi);
+        }
+        // corner Jacobians of the trilinear map: at corner v the three
+        // incident edge vectors
+        let mut dets = [0.0; 8];
+        let mut cell_min = f64::INFINITY;
+        for v in 0..8 {
+            let e = |d: usize| {
+                let w = v ^ (1 << d);
+                let sign = if v & (1 << d) == 0 { 1.0 } else { -1.0 };
+                [
+                    sign * (p[w][0] - p[v][0]),
+                    sign * (p[w][1] - p[v][1]),
+                    sign * (p[w][2] - p[v][2]),
+                ]
+            };
+            let j = [e(0), e(1), e(2)];
+            // det with columns = edges (transposed, same determinant)
+            dets[v] = det3(j);
+            cell_min = cell_min.min(dets[v]);
+        }
+        let mean: f64 = dets.iter().sum::<f64>() / 8.0;
+        if cell_min <= 0.0 {
+            n_inverted += 1;
+        }
+        if mean > 0.0 {
+            min_scaled = min_scaled.min(cell_min / mean);
+        }
+        // edge aspect: 12 edges
+        let mut emin = f64::INFINITY;
+        let mut emax: f64 = 0.0;
+        for v in 0..8 {
+            for d in 0..3 {
+                let w = v | (1 << d);
+                if w == v {
+                    continue;
+                }
+                let u = v & !(1 << d);
+                let len = ((p[w][0] - p[u][0]).powi(2)
+                    + (p[w][1] - p[u][1]).powi(2)
+                    + (p[w][2] - p[u][2]).powi(2))
+                .sqrt();
+                emin = emin.min(len);
+                emax = emax.max(len);
+            }
+        }
+        max_aspect = max_aspect.max(emax / emin);
+        let vol = mean; // corner-mean determinant ≈ volume of the cell
+        vmin = vmin.min(vol);
+        vmax = vmax.max(vol);
+    }
+    QualityReport {
+        n_cells: forest.n_active(),
+        min_scaled_jacobian: min_scaled,
+        max_aspect_ratio: max_aspect,
+        volume_spread: vmax / vmin.max(1e-300),
+        n_inverted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarse::CoarseMesh;
+    use crate::manifold::TrilinearManifold;
+
+    #[test]
+    fn unit_cube_is_perfect() {
+        let mut forest = Forest::new(CoarseMesh::hyper_cube());
+        forest.refine_global(1);
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let q = assess_quality(&forest, &manifold);
+        assert_eq!(q.n_inverted, 0);
+        assert!((q.min_scaled_jacobian - 1.0).abs() < 1e-12);
+        assert!((q.max_aspect_ratio - 1.0).abs() < 1e-12);
+        assert!((q.volume_spread - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_box_reports_aspect() {
+        let forest = Forest::new(CoarseMesh::subdivided_box([1, 1, 1], [4.0, 1.0, 1.0]));
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let q = assess_quality(&forest, &manifold);
+        assert!((q.max_aspect_ratio - 4.0).abs() < 1e-12);
+        assert_eq!(q.n_inverted, 0);
+    }
+
+    struct Shear;
+    impl Manifold for Shear {
+        fn position(&self, _tree: usize, xi: [f64; 3]) -> [f64; 3] {
+            [xi[0] + 0.5 * xi[1], xi[1], xi[2]]
+        }
+    }
+
+    #[test]
+    fn sheared_cells_have_reduced_scaled_jacobian() {
+        let forest = Forest::new(CoarseMesh::hyper_cube());
+        let q = assess_quality(&forest, &Shear);
+        assert_eq!(q.n_inverted, 0);
+        // sheared affine cell: all corner dets equal → scaled jac = 1, but
+        // aspect grows (diagonal edge longer)
+        assert!(q.max_aspect_ratio > 1.05);
+    }
+}

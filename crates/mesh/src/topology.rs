@@ -1,0 +1,294 @@
+//! Reference-cell conventions: vertex/face numbering, the 8 symmetries of a
+//! quadrilateral face, and integer anchor coordinates of octree cells.
+
+/// Maximum octree refinement depth; anchor coordinates are expressed in
+/// units of `2^-MAX_LEVEL` of the tree, so a cell at level `l` has extent
+/// `1 << (MAX_LEVEL - l)` in these units.
+pub const MAX_LEVEL: u8 = 10;
+
+/// Full tree extent in anchor units.
+pub const TREE_EXTENT: u32 = 1 << MAX_LEVEL;
+
+/// Local vertex coordinates of the reference hex (lexicographic).
+pub fn vertex_offset(v: usize) -> [u32; 3] {
+    [(v & 1) as u32, ((v >> 1) & 1) as u32, ((v >> 2) & 1) as u32]
+}
+
+/// Normal direction of face `f` (0,1 → x; 2,3 → y; 4,5 → z).
+#[inline]
+pub fn face_normal_dir(f: usize) -> usize {
+    f / 2
+}
+
+/// Side of face `f`: 0 for the low face, 1 for the high face.
+#[inline]
+pub fn face_side(f: usize) -> usize {
+    f % 2
+}
+
+/// The two tangential directions of face `f`, in increasing order; these
+/// define the face-local `(t1, t2)` frame.
+#[inline]
+pub fn face_tangential_dirs(f: usize) -> (usize, usize) {
+    match face_normal_dir(f) {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// The 4 local vertex indices of face `f`, ordered lexicographically in the
+/// face-local frame (corner `c = c1 + 2*c2`).
+pub fn face_vertices(f: usize) -> [usize; 4] {
+    let d = face_normal_dir(f);
+    let s = face_side(f);
+    let (t1, t2) = face_tangential_dirs(f);
+    let mut out = [0usize; 4];
+    for c in 0..4 {
+        let mut coords = [0usize; 3];
+        coords[d] = s;
+        coords[t1] = c & 1;
+        coords[t2] = (c >> 1) & 1;
+        out[c] = coords[0] + 2 * coords[1] + 4 * coords[2];
+    }
+    out
+}
+
+/// One of the 8 symmetries of the unit square, encoding how the face-local
+/// frame of the `plus` cell relates to the frame of the `minus` cell.
+///
+/// A point with minus-frame coordinates `(a, b)` has plus-frame coordinates
+/// obtained by (1) swapping the axes if `swap`, then (2) reversing each axis
+/// if `rev1`/`rev2`:
+/// `x = swap ? b : a;  y = swap ? a : b;  s = rev1 ? 1-x : x;  t = rev2 ? 1-y : y`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaceOrientation {
+    /// Swap the two tangential axes.
+    pub swap: bool,
+    /// Reverse the first plus-frame axis.
+    pub rev1: bool,
+    /// Reverse the second plus-frame axis.
+    pub rev2: bool,
+}
+
+impl FaceOrientation {
+    /// The identity orientation.
+    pub const IDENTITY: Self = Self {
+        swap: false,
+        rev1: false,
+        rev2: false,
+    };
+
+    /// All 8 orientations.
+    pub fn all() -> [Self; 8] {
+        let mut out = [Self::IDENTITY; 8];
+        let mut i = 0;
+        for &swap in &[false, true] {
+            for &rev1 in &[false, true] {
+                for &rev2 in &[false, true] {
+                    out[i] = Self { swap, rev1, rev2 };
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact code 0..8 (identity = 0).
+    pub fn code(self) -> u8 {
+        (self.swap as u8) * 4 + (self.rev1 as u8) * 2 + (self.rev2 as u8)
+    }
+
+    /// Inverse of [`FaceOrientation::code`].
+    pub fn from_code(c: u8) -> Self {
+        Self {
+            swap: c & 4 != 0,
+            rev1: c & 2 != 0,
+            rev2: c & 1 != 0,
+        }
+    }
+
+    /// Map minus-frame unit-square coordinates to plus-frame coordinates.
+    pub fn map_unit(&self, a: f64, b: f64) -> (f64, f64) {
+        let (x, y) = if self.swap { (b, a) } else { (a, b) };
+        (
+            if self.rev1 { 1.0 - x } else { x },
+            if self.rev2 { 1.0 - y } else { y },
+        )
+    }
+
+    /// Map minus-frame grid indices `(ia, ib)` on a symmetric `n1 × n2`
+    /// point grid to plus-frame indices. When `swap` is set the plus grid
+    /// has extents `(n2, n1)`; for the symmetric (Gauss) point sets used
+    /// everywhere here, index reversal maps the point set onto itself.
+    pub fn map_index(&self, ia: usize, ib: usize, n1: usize, n2: usize) -> (usize, usize) {
+        let (x, y, nx, ny) = if self.swap {
+            (ib, ia, n2, n1)
+        } else {
+            (ia, ib, n1, n2)
+        };
+        (
+            if self.rev1 { nx - 1 - x } else { x },
+            if self.rev2 { ny - 1 - y } else { y },
+        )
+    }
+
+    /// Map minus-frame anchor coordinates of a sub-square (low corner
+    /// `(a, b)` with extent `size` inside a face of extent `full`) to
+    /// plus-frame anchor coordinates.
+    pub fn map_anchor(&self, a: u32, b: u32, size: u32, full: u32) -> (u32, u32) {
+        let (x, y) = if self.swap { (b, a) } else { (a, b) };
+        (
+            if self.rev1 { full - size - x } else { x },
+            if self.rev2 { full - size - y } else { y },
+        )
+    }
+
+    /// Compose with the inverse: find the orientation that maps plus-frame
+    /// back to minus-frame.
+    pub fn inverse(&self) -> Self {
+        if !self.swap {
+            *self
+        } else {
+            // (a,b) -> (rev1(b), rev2(a)); inverse: (s,t) -> (rev2^{-1}(t) ...)
+            Self {
+                swap: true,
+                rev1: self.rev2,
+                rev2: self.rev1,
+            }
+        }
+    }
+
+    /// Determine the orientation from matched face corner vertices: `minus`
+    /// and `plus` list the same 4 global vertex ids in their respective
+    /// face-local lexicographic order. Returns `None` when the faces do not
+    /// contain the same vertex set.
+    pub fn from_corner_match(minus: [usize; 4], plus: [usize; 4]) -> Option<Self> {
+        for o in Self::all() {
+            let mut ok = true;
+            for c in 0..4 {
+                let (a, b) = (c & 1, (c >> 1) & 1);
+                let (s, t) = o.map_unit(a as f64, b as f64);
+                let pc = (s.round() as usize) + 2 * (t.round() as usize);
+                if plus[pc] != minus[c] {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return Some(o);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_vertices_cover_all_vertices() {
+        let mut seen = [0usize; 8];
+        for f in 0..6 {
+            for v in face_vertices(f) {
+                seen[v] += 1;
+            }
+        }
+        // each hex vertex belongs to exactly 3 faces
+        assert!(seen.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn face_vertices_lie_on_face() {
+        for f in 0..6 {
+            let d = face_normal_dir(f);
+            let s = face_side(f) as u32;
+            for v in face_vertices(f) {
+                assert_eq!(vertex_offset(v)[d], s);
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_code_roundtrip() {
+        for o in FaceOrientation::all() {
+            assert_eq!(FaceOrientation::from_code(o.code()), o);
+        }
+    }
+
+    #[test]
+    fn orientation_inverse_composes_to_identity() {
+        for o in FaceOrientation::all() {
+            let inv = o.inverse();
+            for &(a, b) in &[(0.2, 0.7), (0.0, 1.0), (0.5, 0.25)] {
+                let (s, t) = o.map_unit(a, b);
+                let (a2, b2) = inv.map_unit(s, t);
+                assert!((a2 - a).abs() < 1e-15 && (b2 - b).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn index_map_consistent_with_unit_map_on_symmetric_grid() {
+        // Points of a symmetric grid: x_i symmetric about 1/2.
+        let pts = [0.1, 0.4, 0.6, 0.9];
+        for o in FaceOrientation::all() {
+            for ia in 0..4 {
+                for ib in 0..4 {
+                    let (s, t) = o.map_unit(pts[ia], pts[ib]);
+                    let (is, it) = o.map_index(ia, ib, 4, 4);
+                    assert!((pts[is] - s).abs() < 1e-14);
+                    assert!((pts[it] - t).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_match_recovers_all_orientations() {
+        // Construct plus corner lists by applying each orientation.
+        let minus = [10, 11, 12, 13];
+        for o in FaceOrientation::all() {
+            let mut plus = [0usize; 4];
+            for c in 0..4 {
+                let (a, b) = ((c & 1) as f64, ((c >> 1) & 1) as f64);
+                let (s, t) = o.map_unit(a, b);
+                let pc = (s.round() as usize) + 2 * (t.round() as usize);
+                plus[pc] = minus[c];
+            }
+            let found = FaceOrientation::from_corner_match(minus, plus).unwrap();
+            // check equivalence by action, not representation
+            for &(a, b) in &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.3, 0.8)] {
+                let (s1, t1) = o.map_unit(a, b);
+                let (s2, t2) = found.map_unit(a, b);
+                assert!((s1 - s2).abs() < 1e-14 && (t1 - t2).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn corner_match_rejects_disjoint_faces() {
+        assert!(FaceOrientation::from_corner_match([0, 1, 2, 3], [4, 5, 6, 7]).is_none());
+    }
+
+    #[test]
+    fn anchor_map_matches_unit_map() {
+        let full = TREE_EXTENT;
+        let size = full / 4;
+        for o in FaceOrientation::all() {
+            let (a, b) = (full / 2, full / 4);
+            let (s, t) = o.map_anchor(a, b, size, full);
+            // compare against mapping the low corner / extent via unit map:
+            // the image of the square [a, a+size] x [b, b+size]
+            let corners = [
+                o.map_unit(a as f64 / full as f64, b as f64 / full as f64),
+                o.map_unit((a + size) as f64 / full as f64, (b + size) as f64 / full as f64),
+            ];
+            let smin = corners[0].0.min(corners[1].0);
+            let tmin = corners[0].1.min(corners[1].1);
+            assert!((s as f64 / full as f64 - smin).abs() < 1e-12);
+            assert!((t as f64 / full as f64 - tmin).abs() < 1e-12);
+        }
+    }
+}

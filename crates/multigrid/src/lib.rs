@@ -1,0 +1,23 @@
+//! Hybrid geometric–polynomial–algebraic multigrid (Sec. 3.4).
+//!
+//! The pressure Poisson problem is solved by conjugate gradients
+//! preconditioned with one V-cycle of this hierarchy:
+//!
+//! ```text
+//! DG(k)  ──►  CG(k)  ──►  CG(k/2) … CG(1)  ──►  CG(1) on coarser forests  ──►  AMG
+//!        continuity      polynomial              global geometric            plain
+//!        injection       bisection               coarsening                  aggregation
+//! ```
+//!
+//! Every matrix-free level is smoothed with a degree-3 Chebyshev iteration
+//! preconditioned by the point-Jacobi diagonal; the V-cycle runs in single
+//! precision under the double-precision outer solver
+//! ([`MixedPrecisionMg`]).
+
+pub mod hierarchy;
+pub mod solve;
+pub mod transfer;
+
+pub use hierarchy::{CycleType, HybridMultigrid, LevelOp, MgLevel, MgParams, MixedPrecisionMg};
+pub use solve::{solve_poisson, PoissonSolveStats};
+pub use transfer::{FineSpace, Transfer};

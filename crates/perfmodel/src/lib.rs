@@ -1,0 +1,22 @@
+//! Performance and scaling models — the SuperMUC-NG substitute.
+//!
+//! The paper's strong/weak-scaling experiments ran on up to 6 400 dual-
+//! socket Skylake nodes. That machine is not available here, so the
+//! node-count sweeps of Figures 8–10 are regenerated from a calibrated
+//! analytic model: per-node streaming bandwidth with a cache-capacity
+//! boost for small working sets, a latency/bandwidth (α–β) network, a
+//! tree-depth term for the "vertical" multigrid communication, and a
+//! fixed-latency coarse AMG solve. Single-node kernel rates are calibrated
+//! against *measured* throughput of this repository's kernels; the paper's
+//! SuperMUC-NG parameters are provided for side-by-side comparison.
+//!
+//! The roofline model of Fig. 7 and the analytic Flop/Byte counts of the
+//! DG Laplacian live here too.
+
+pub mod counts;
+pub mod machine;
+pub mod scaling;
+
+pub use counts::LaplaceCounts;
+pub use machine::MachineModel;
+pub use scaling::{hybrid_level_sizes, matvec_time, strong_scaling_sweep, MgSolveModel, ScalingPoint};

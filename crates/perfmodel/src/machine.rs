@@ -1,0 +1,74 @@
+//! Machine parameters for the performance model.
+
+/// A CPU cluster model.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Streaming memory bandwidth per node (B/s).
+    pub mem_bw: f64,
+    /// Effective bandwidth multiplier when the working set fits the
+    /// combined L2+L3 (the cache bump of Fig. 8).
+    pub cache_bw_factor: f64,
+    /// L2+L3 capacity per core (B).
+    pub cache_per_core: f64,
+    /// Peak double-precision Flop rate per node (Flop/s).
+    pub flop_rate: f64,
+    /// Network latency per message (s).
+    pub net_latency: f64,
+    /// Network bandwidth per node (B/s).
+    pub net_bw: f64,
+    /// Latency of one coarse AMG solve (s) — the paper measures
+    /// ≈3.5·10⁻³ s per BoomerAMG call on the lung case.
+    pub amg_latency: f64,
+}
+
+impl MachineModel {
+    /// SuperMUC-NG node parameters (2×24-core Xeon 8174 @ 2.3 GHz fixed,
+    /// ~205 GB/s STREAM, AVX-512; OmniPath fat tree).
+    pub fn supermuc_ng() -> Self {
+        Self {
+            cores_per_node: 48,
+            mem_bw: 205e9,
+            cache_bw_factor: 3.0,
+            cache_per_core: 2.375e6, // 1 MB L2 + 1.375 MB L3 slice
+            flop_rate: 48.0 * 2.3e9 * 16.0, // 2 AVX-512 FMA units
+            net_latency: 1.6e-6,
+            net_bw: 12.5e9,
+            amg_latency: 3.5e-3,
+        }
+    }
+
+    /// A model calibrated from a measured saturated matvec throughput
+    /// (DoF/s) and measured bytes/DoF on the *local* machine, keeping the
+    /// SuperMUC-NG network so node sweeps remain comparable in shape.
+    pub fn calibrated(measured_dof_per_s: f64, bytes_per_dof: f64) -> Self {
+        let mut m = Self::supermuc_ng();
+        m.mem_bw = measured_dof_per_s * bytes_per_dof;
+        m
+    }
+
+    /// Total cache per node.
+    pub fn cache_per_node(&self) -> f64 {
+        self.cache_per_core * self.cores_per_node as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supermuc_parameters_sane() {
+        let m = MachineModel::supermuc_ng();
+        assert_eq!(m.cores_per_node, 48);
+        assert!(m.flop_rate > 1e12); // multi-TFlop node
+        assert!(m.cache_per_node() > 1e8);
+    }
+
+    #[test]
+    fn calibration_sets_bandwidth() {
+        let m = MachineModel::calibrated(1.4e9, 110.0);
+        assert!((m.mem_bw - 1.4e9 * 110.0).abs() < 1.0);
+    }
+}

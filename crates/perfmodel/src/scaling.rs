@@ -1,0 +1,244 @@
+//! Strong/weak-scaling simulator for operator evaluation and multigrid
+//! solves (Figures 8–10).
+
+use crate::counts::LaplaceCounts;
+use crate::machine::MachineModel;
+
+/// One point of a scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Wall time of one operation/solve (s).
+    pub time: f64,
+    /// Throughput (DoF/s).
+    pub throughput: f64,
+    /// DoF per node.
+    pub dofs_per_node: f64,
+}
+
+/// Time of one matrix-vector product of `n_dofs` unknowns on `nodes`
+/// nodes. Captures the three regimes of Fig. 8: bandwidth-saturated,
+/// cache-boosted, and latency-dominated.
+pub fn matvec_time(
+    m: &MachineModel,
+    c: &LaplaceCounts,
+    n_dofs: f64,
+    nodes: usize,
+    mesh_complexity: f64,
+) -> f64 {
+    let per_node = n_dofs / nodes as f64;
+    let bytes = per_node * c.ideal_bytes_per_dof * 1.25; // measured ≈ 20–30 % above ideal
+    // cache boost when the working set fits L2+L3
+    let bw = if bytes < m.cache_per_node() {
+        m.mem_bw * m.cache_bw_factor
+    } else {
+        m.mem_bw
+    };
+    let t_mem = bytes / bw;
+    let t_flop = per_node * c.flops_per_dof / m.flop_rate;
+    // nearest-neighbor halo: ranks = cores; per rank surface of the local
+    // chunk; message count grows with mesh complexity (unstructured coarse
+    // mesh, hanging faces → more, smaller messages)
+    let ranks_per_node = m.cores_per_node as f64;
+    let dofs_per_rank = per_node / ranks_per_node;
+    let n1 = (c.degree + 1) as f64;
+    let cells_per_rank = (dofs_per_rank / (n1 * n1 * n1)).max(1.0);
+    let surface_cells = 6.0 * cells_per_rank.powf(2.0 / 3.0);
+    let halo_bytes = surface_cells * n1 * n1 * 8.0 * ranks_per_node;
+    let msgs = (8.0 * mesh_complexity).max(2.0);
+    let t_comm = m.net_latency * msgs + halo_bytes / m.net_bw;
+    t_mem.max(t_flop) + t_comm
+}
+
+/// Strong-scaling sweep of the mat-vec.
+pub fn strong_scaling_sweep(
+    m: &MachineModel,
+    c: &LaplaceCounts,
+    n_dofs: f64,
+    node_counts: &[usize],
+    mesh_complexity: f64,
+) -> Vec<ScalingPoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let t = matvec_time(m, c, n_dofs, nodes, mesh_complexity);
+            ScalingPoint {
+                nodes,
+                time: t,
+                throughput: n_dofs / t,
+                dofs_per_node: n_dofs / nodes as f64,
+            }
+        })
+        .collect()
+}
+
+/// Model of one preconditioned Poisson solve (Figures 9/10).
+#[derive(Clone, Debug)]
+pub struct MgSolveModel {
+    /// DoF per matrix-free level, finest first (from an actual hierarchy).
+    pub level_dofs: Vec<f64>,
+    /// Outer CG iterations (9 for the bifurcation, 21–22 for the lung).
+    pub cg_iterations: usize,
+    /// Matrix-vector products per level per V-cycle (pre+post Chebyshev(3)
+    /// + residual + transfers ≈ 8).
+    pub matvecs_per_level: f64,
+    /// Mesh-complexity factor (1 = structured bifurcation; >1 lung).
+    pub mesh_complexity: f64,
+    /// Degree of the fine level.
+    pub degree: usize,
+}
+
+impl MgSolveModel {
+    /// Wall time of one full solve on `nodes` nodes.
+    pub fn solve_time(&self, m: &MachineModel, nodes: usize) -> f64 {
+        let c_dp = LaplaceCounts::new(self.degree, 8.0);
+        let c_sp = LaplaceCounts::new(self.degree, 4.0);
+        let mut t_cycle = 0.0;
+        for (li, &nd) in self.level_dofs.iter().enumerate() {
+            // V-cycle runs in single precision; each level adds a
+            // latency floor for its nearest-neighbor rounds
+            let t_op = matvec_time(m, &c_sp, nd, nodes, self.mesh_complexity);
+            let vertical = m.net_latency * 2.0 * (nodes as f64).log2().max(1.0);
+            t_cycle += self.matvecs_per_level * t_op + vertical;
+            let _ = li;
+        }
+        // coarse AMG latency per V-cycle call
+        t_cycle += m.amg_latency * self.mesh_complexity.min(2.0);
+        // outer CG: one DP mat-vec + vector ops (≈0.5 matvec equivalents)
+        let t_outer = 1.5 * matvec_time(m, &c_dp, self.level_dofs[0], nodes, self.mesh_complexity);
+        self.cg_iterations as f64 * (t_cycle + t_outer)
+    }
+
+    /// Scaling sweep of the solve.
+    pub fn sweep(&self, m: &MachineModel, node_counts: &[usize]) -> Vec<ScalingPoint> {
+        node_counts
+            .iter()
+            .map(|&nodes| {
+                let t = self.solve_time(m, nodes);
+                ScalingPoint {
+                    nodes,
+                    time: t,
+                    throughput: self.level_dofs[0] / t,
+                    dofs_per_node: self.level_dofs[0] / nodes as f64,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Geometric level sizes of a hybrid hierarchy: DG(k) fine + CG(k) + p-
+/// bisection + h-coarsening, down to `coarse_dofs`.
+pub fn hybrid_level_sizes(fine_dofs: f64, degree: usize, coarse_dofs: f64) -> Vec<f64> {
+    let mut out = vec![fine_dofs];
+    // CG(k) level: ≈ (k/(k+1))³ of the DG dofs
+    let k = degree as f64;
+    let mut current = fine_dofs * (k / (k + 1.0)).powi(3);
+    out.push(current);
+    // p-bisection to 1
+    let mut kk = degree;
+    while kk > 1 {
+        kk /= 2;
+        current *= ((kk as f64 + 1.0) / (2.0 * kk as f64 + 1.0)).powi(3).min(0.25);
+        out.push(current.max(coarse_dofs));
+    }
+    // h-coarsening
+    while current > coarse_dofs {
+        current /= 8.0;
+        out.push(current.max(coarse_dofs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineModel {
+        MachineModel::supermuc_ng()
+    }
+
+    #[test]
+    fn strong_scaling_shows_double_bump() {
+        // Fig. 8 shape: throughput dips, rises in the cache regime, then
+        // collapses at the latency limit
+        let m = machine();
+        let c = LaplaceCounts::new(3, 8.0);
+        let nodes: Vec<usize> = (0..12).map(|i| 1 << i).collect();
+        let pts = strong_scaling_sweep(&m, &c, 180e6, &nodes, 1.0);
+        // times decrease monotonically then flatten near the latency floor
+        for w in pts.windows(2) {
+            assert!(w[1].time <= w[0].time * 1.05);
+        }
+        assert!(pts.last().unwrap().time > m.net_latency);
+    }
+
+    #[test]
+    fn cache_bump_exists_in_per_node_throughput() {
+        let m = machine();
+        let c = LaplaceCounts::new(3, 8.0);
+        let nodes: Vec<usize> = (0..14).map(|i| 1 << i).collect();
+        let pts = strong_scaling_sweep(&m, &c, 180e6, &nodes, 1.0);
+        // per-node throughput in the cache regime exceeds saturated
+        let per_node: Vec<f64> = pts
+            .iter()
+            .map(|p| p.throughput / p.nodes as f64)
+            .collect();
+        let saturated = per_node[0];
+        let peak = per_node.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 1.3 * saturated, "no cache bump: {peak} vs {saturated}");
+        // latency collapse: the last point is far below the peak
+        assert!(*per_node.last().unwrap() < 0.5 * peak);
+    }
+
+    #[test]
+    fn lung_solve_saturates_above_bifurcation() {
+        // Fig. 9 vs Fig. 10: same size, more iterations + complexity →
+        // higher wall-time floor
+        let m = machine();
+        let sizes = hybrid_level_sizes(179e6, 3, 3e5);
+        let bifurcation = MgSolveModel {
+            level_dofs: sizes.clone(),
+            cg_iterations: 9,
+            matvecs_per_level: 8.0,
+            mesh_complexity: 1.0,
+            degree: 3,
+        };
+        let lung = MgSolveModel {
+            level_dofs: sizes,
+            cg_iterations: 21,
+            matvecs_per_level: 8.0,
+            mesh_complexity: 2.0,
+            degree: 3,
+        };
+        let nodes = [64usize, 256, 1024, 4096];
+        let tb = bifurcation.sweep(&m, &nodes);
+        let tl = lung.sweep(&m, &nodes);
+        for (b, l) in tb.iter().zip(&tl) {
+            assert!(l.time > 1.8 * b.time, "lung {} vs bif {}", l.time, b.time);
+        }
+        // bifurcation reaches ≈0.1 s like Fig. 9
+        let t_min = tb.iter().map(|p| p.time).fold(f64::INFINITY, f64::min);
+        assert!(t_min < 0.3, "bifurcation floor {t_min}");
+        assert!(t_min > 0.005);
+    }
+
+    #[test]
+    fn weak_scaling_is_flat() {
+        let m = machine();
+        let c = LaplaceCounts::new(3, 8.0);
+        // 8× dofs on 8× nodes: time within 25 %
+        let t1 = matvec_time(&m, &c, 1e9, 64, 1.0);
+        let t8 = matvec_time(&m, &c, 8e9, 512, 1.0);
+        assert!((t8 / t1 - 1.0).abs() < 0.25, "{t1} vs {t8}");
+    }
+
+    #[test]
+    fn hybrid_level_sizes_decrease() {
+        let sizes = hybrid_level_sizes(77e6, 3, 2e5);
+        assert!(sizes.len() >= 4);
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Portable cross-element SIMD abstraction.
+//!
+//! The paper (Sec. 3.2) vectorizes the sum-factorization kernels *across*
+//! cells and faces through a thin C++ wrapper class around platform
+//! intrinsics, so that a batch of `N_SIMD` physical cells is processed by
+//! every arithmetic instruction. This crate provides the Rust equivalent: a
+//! fixed-width lane array [`Simd<T, LANES>`] with operator overloads whose
+//! lane-wise loops LLVM compiles to full-width vector instructions on any
+//! target (AVX2/AVX-512/NEON/SVE), plus the [`Real`] scalar trait that lets
+//! every kernel in the workspace be instantiated in both double precision
+//! (outer Krylov solver) and single precision (multigrid V-cycle).
+//!
+//! The default batch widths mirror the paper's AVX-512 configuration:
+//! 8 doubles ([`F64x8`]) and 16 floats ([`F32x16`]) per register.
+
+pub mod real;
+pub mod vector;
+
+pub use real::Real;
+pub use vector::Simd;
+
+/// Lanes per double-precision batch (matches one AVX-512 register of f64).
+pub const DP_LANES: usize = 8;
+/// Lanes per single-precision batch (matches one AVX-512 register of f32).
+pub const SP_LANES: usize = 16;
+
+/// A batch of 8 doubles — the paper's "SIMD cell" granularity in DP.
+pub type F64x8 = Simd<f64, DP_LANES>;
+/// A batch of 16 floats — the paper's SIMD granularity inside the SP V-cycle.
+pub type F32x16 = Simd<f32, SP_LANES>;
+/// A batch of 4 doubles (AVX2-width), used where shorter batches win.
+pub type F64x4 = Simd<f64, 4>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_widths_match_avx512() {
+        assert_eq!(F64x8::LANES * std::mem::size_of::<f64>(), 64);
+        assert_eq!(F32x16::LANES * std::mem::size_of::<f32>(), 64);
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`Real`] scalar trait: the single abstraction point that lets every
+//! operator, smoother and transfer in the workspace run in either `f64`
+//! (outer conjugate-gradient solver) or `f32` (multigrid V-cycle), the
+//! mixed-precision strategy of Sec. 3.4.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable in all numerical kernels.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Lossy conversion from `f64` (the only way constants enter kernels).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` (for norms, reporting, convergence tests).
+    fn to_f64(self) -> f64;
+    /// Conversion from `usize` (quadrature weights normalization etc.).
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+    /// `self * a + b`, fused when the target supports FMA.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Lane-wise minimum (IEEE `min`).
+    fn min(self, other: Self) -> Self;
+    /// Lane-wise maximum (IEEE `max`).
+    fn max(self, other: Self) -> Self;
+    /// Reciprocal.
+    fn recip(self) -> Self {
+        Self::ONE / self
+    }
+    /// Integer power (exact for small exponents).
+    fn powi(self, n: i32) -> Self;
+    /// True if the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Use the fused instruction only when the target actually
+                // has one: without FMA support, `f64::mul_add` lowers to a
+                // *libm call* to preserve exact semantics, which destroys
+                // kernel throughput. Build with
+                // `RUSTFLAGS="-C target-cpu=native"` to get true FMAs.
+                #[cfg(target_feature = "fma")]
+                {
+                    <$t>::mul_add(self, a, b)
+                }
+                #[cfg(not(target_feature = "fma"))]
+                {
+                    self * a + b
+                }
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops_roundtrip<T: Real>() {
+        let two = T::from_f64(2.0);
+        let three = T::from_f64(3.0);
+        assert_eq!((two * three).to_f64(), 6.0);
+        assert_eq!(two.mul_add(three, T::ONE).to_f64(), 7.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!((-three).abs().to_f64(), 3.0);
+        assert_eq!(two.min(three).to_f64(), 2.0);
+        assert_eq!(two.max(three).to_f64(), 3.0);
+        assert_eq!(two.powi(10).to_f64(), 1024.0);
+        assert!(two.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+    }
+
+    #[test]
+    fn f32_real() {
+        ops_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn f64_real() {
+        ops_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn from_usize_is_exact_for_small_counts() {
+        assert_eq!(f64::from_usize(12345).to_f64(), 12345.0);
+        assert_eq!(f32::from_usize(1024).to_f64(), 1024.0);
+    }
+}

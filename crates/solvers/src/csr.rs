@@ -1,0 +1,288 @@
+//! Compressed-sparse-row matrices: assembled operators for the coarse
+//! levels (AMG hierarchy, Galerkin products) and reference operators in
+//! tests. Includes the symmetric Gauss–Seidel sweep used as the AMG
+//! smoother (one sweep, matching the paper's BoomerAMG configuration).
+
+use crate::traits::LinearOperator;
+use dgflow_simd::Real;
+
+/// CSR sparse matrix.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Real> CsrMatrix<T> {
+    /// Build from (row, col, value) triplets; duplicates are summed.
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, T)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, T)>> = vec![Vec::new(); n_rows];
+        for &(r, c, v) in triplets {
+            assert!(r < n_rows && c < n_cols);
+            per_row[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in per_row.iter_mut() {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = T::ZERO;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                if v.to_f64() != 0.0 || c == usize::MAX {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate over the entries of one row.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Extract the diagonal.
+    pub fn diagonal(&self) -> Vec<T> {
+        let mut d = vec![T::ZERO; self.n_rows];
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                if c == r {
+                    d[r] += v;
+                }
+            }
+        }
+        d
+    }
+
+    /// `y = A x` for a possibly rectangular matrix.
+    pub fn matvec(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for r in 0..self.n_rows {
+            let mut s = T::ZERO;
+            for (c, v) in self.row(r) {
+                s = v.mul_add(x[c], s);
+            }
+            y[r] = s;
+        }
+    }
+
+    /// `y = A^T x`.
+    pub fn matvec_transpose(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n_rows);
+        assert_eq!(y.len(), self.n_cols);
+        y.iter_mut().for_each(|v| *v = T::ZERO);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                y[c] = v.mul_add(x[r], y[c]);
+            }
+        }
+    }
+
+    /// One symmetric Gauss–Seidel sweep on `A x = b` (forward then backward).
+    pub fn gauss_seidel_sweep(&self, b: &[T], x: &mut [T]) {
+        assert_eq!(self.n_rows, self.n_cols);
+        let update = |x: &mut [T], r: usize| {
+            let mut s = b[r];
+            let mut diag = T::ZERO;
+            for (c, v) in self.row(r) {
+                if c == r {
+                    diag = v;
+                } else {
+                    s -= v * x[c];
+                }
+            }
+            if diag.to_f64() != 0.0 {
+                x[r] = s / diag;
+            }
+        };
+        for r in 0..self.n_rows {
+            update(x, r);
+        }
+        for r in (0..self.n_rows).rev() {
+            update(x, r);
+        }
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Self {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Self::from_triplets(self.n_cols, self.n_rows, &triplets)
+    }
+
+    /// Sparse product `self * other`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.n_cols, other.n_rows);
+        let mut triplets = Vec::new();
+        for r in 0..self.n_rows {
+            for (k, va) in self.row(r) {
+                for (c, vb) in other.row(k) {
+                    triplets.push((r, c, va * vb));
+                }
+            }
+        }
+        Self::from_triplets(self.n_rows, other.n_cols, &triplets)
+    }
+
+    /// Convert entries to another precision.
+    pub fn convert<U: Real>(&self) -> CsrMatrix<U> {
+        CsrMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T: Real> LinearOperator<T> for CsrMatrix<T> {
+    fn len(&self) -> usize {
+        assert_eq!(self.n_rows, self.n_cols);
+        self.n_rows
+    }
+    fn apply(&self, src: &[T], dst: &mut [T]) {
+        self.matvec(src, dst);
+    }
+    fn diagonal(&self) -> Vec<T> {
+        CsrMatrix::diagonal(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 4.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 4.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 1, 1.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.diagonal(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.matvec(&x, &mut y);
+        assert_eq!(y, vec![2.0, 4.0, 10.0]);
+        let mut yt = vec![0.0; 3];
+        a.matvec_transpose(&x, &mut yt);
+        assert_eq!(yt, y); // symmetric
+        let at = a.transpose();
+        let mut y2 = vec![0.0; 3];
+        at.matvec(&x, &mut y2);
+        assert_eq!(y2, y);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_on_diagonally_dominant() {
+        let a = sample();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let mut b = vec![0.0; 3];
+        a.matvec(&x_true, &mut b);
+        let mut x = vec![0.0; 3];
+        for _ in 0..50 {
+            a.gauss_seidel_sweep(&b, &mut x);
+        }
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let a = sample();
+        let p = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0)]);
+        let ap = a.matmul(&p);
+        assert_eq!(ap.n_rows(), 3);
+        assert_eq!(ap.n_cols(), 2);
+        // column 0 of ap = A * [1,1,0]^T = [3, 3, -1]
+        let mut y = vec![0.0; 3];
+        ap.matvec(&[1.0, 0.0], &mut y);
+        assert_eq!(y, vec![3.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn galerkin_product_is_symmetric() {
+        let a = sample();
+        let p = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (1, 0, 1.0), (2, 1, 1.0)]);
+        let coarse = p.transpose().matmul(&a.matmul(&p));
+        assert_eq!(coarse.n_rows(), 2);
+        // symmetry
+        let rows: Vec<Vec<(usize, f64)>> = (0..2).map(|r| coarse.row(r).collect()).collect();
+        for r in 0..2 {
+            for &(c, v) in &rows[r] {
+                let vt = rows[c].iter().find(|&&(cc, _)| cc == r).map(|&(_, v)| v);
+                assert_eq!(vt, Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn precision_conversion() {
+        let a = sample();
+        let s: CsrMatrix<f32> = a.convert();
+        assert_eq!(s.diagonal(), vec![4.0f32, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Operator and preconditioner abstractions shared by all solvers.
+
+use dgflow_simd::Real;
+
+/// A square linear operator applied matrix-free (or from a stored matrix).
+pub trait LinearOperator<T: Real>: Sync {
+    /// Problem size (rows = cols).
+    fn len(&self) -> usize;
+
+    /// True for the zero-dimensional operator.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `dst = A * src` (dst is overwritten).
+    fn apply(&self, src: &[T], dst: &mut [T]);
+
+    /// Diagonal of the operator (needed by point smoothers). Default:
+    /// unimplemented.
+    fn diagonal(&self) -> Vec<T> {
+        unimplemented!("diagonal not provided by this operator")
+    }
+}
+
+/// A preconditioner: `dst ≈ A^{-1} src`.
+pub trait Preconditioner<T: Real>: Sync {
+    /// Apply the preconditioner (dst is overwritten).
+    fn apply_precond(&self, src: &[T], dst: &mut [T]);
+}
+
+/// No-op preconditioner.
+pub struct IdentityPreconditioner;
+
+impl<T: Real> Preconditioner<T> for IdentityPreconditioner {
+    fn apply_precond(&self, src: &[T], dst: &mut [T]) {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Vector helpers shared by the Krylov loops.
+pub mod vec_ops {
+    use dgflow_simd::Real;
+
+    /// Dot product.
+    pub fn dot<T: Real>(a: &[T], b: &[T]) -> T {
+        let mut s = T::ZERO;
+        for (x, y) in a.iter().zip(b) {
+            s = x.mul_add(*y, s);
+        }
+        s
+    }
+
+    /// ℓ₂ norm.
+    pub fn norm<T: Real>(a: &[T]) -> T {
+        dot(a, a).sqrt()
+    }
+
+    /// `y += alpha * x`.
+    pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi.mul_add(alpha, *yi);
+        }
+    }
+
+    /// `y = x + beta * y`.
+    pub fn xpby<T: Real>(x: &[T], beta: T, y: &mut [T]) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = yi.mul_add(beta, *xi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vec_ops::*;
+
+    #[test]
+    fn vector_ops() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert!((norm(&a) - 14.0f64.sqrt()).abs() < 1e-15);
+        let mut y = b.clone();
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![6.0, 9.0, 12.0]);
+        let mut y2 = b.clone();
+        xpby(&a, 0.5, &mut y2);
+        assert_eq!(y2, vec![3.0, 4.5, 6.0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Even–odd decomposition of symmetric 1-D interpolation matrices.
+//!
+//! When the interpolation nodes and quadrature points are both symmetric
+//! about the interval midpoint, the 1-D value matrix `A` satisfies
+//! `A[q][i] = A[nq-1-q][ni-1-i]` and the gradient matrix the antisymmetric
+//! analogue. Splitting the input into even/odd halves then almost halves
+//! the multiplication count of every 1-D contraction — the Flop-minimizing
+//! optimization the paper credits (together with basis changes) for a
+//! 1.5–2× speedup over prior DG kernels.
+
+use crate::matrix::DMatrix;
+use dgflow_simd::{Real, Simd};
+
+/// Symmetry class of a 1-D operator matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symmetry {
+    /// `A[q][i] = A[nq-1-q][ni-1-i]` (interpolation / value matrices).
+    Even,
+    /// `A[q][i] = -A[nq-1-q][ni-1-i]` (differentiation matrices).
+    Odd,
+}
+
+/// A matrix stored in even–odd compressed form.
+#[derive(Clone, Debug)]
+pub struct EvenOddMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    symmetry: Symmetry,
+    /// `(A[q][i] + A[q][nc-1-i])` for `i < ceil(nc/2)` (middle column kept
+    /// un-doubled), rows `q < ceil(nr/2)`.
+    even: DMatrix<T>,
+    /// `(A[q][i] - A[q][nc-1-i])` for `i < floor(nc/2)`.
+    odd: DMatrix<T>,
+}
+
+impl<T: Real> EvenOddMatrix<T> {
+    /// Compress `a`, verifying the claimed symmetry (up to a tolerance that
+    /// absorbs round-off in the quadrature-point computation).
+    pub fn compress(a: &DMatrix<T>, symmetry: Symmetry) -> Self {
+        let (nr, nc) = (a.rows(), a.cols());
+        let sgn = match symmetry {
+            Symmetry::Even => 1.0,
+            Symmetry::Odd => -1.0,
+        };
+        for q in 0..nr {
+            for i in 0..nc {
+                let lhs = a.get(q, i).to_f64();
+                let rhs = sgn * a.get(nr - 1 - q, nc - 1 - i).to_f64();
+                assert!(
+                    (lhs - rhs).abs() < 1e-10,
+                    "matrix is not {symmetry:?}-symmetric at ({q},{i}): {lhs} vs {rhs}"
+                );
+            }
+        }
+        let hr = nr.div_ceil(2);
+        let hc_even = nc.div_ceil(2);
+        let hc_odd = nc / 2;
+        let even = DMatrix::from_fn(hr, hc_even, |q, i| {
+            if 2 * i + 1 == nc {
+                a.get(q, i) // middle column
+            } else {
+                a.get(q, i) + a.get(q, nc - 1 - i)
+            }
+        });
+        let odd = DMatrix::from_fn(hr, hc_odd, |q, i| a.get(q, i) - a.get(q, nc - 1 - i));
+        Self {
+            n_rows: nr,
+            n_cols: nc,
+            symmetry,
+            even,
+            odd,
+        }
+    }
+
+    /// Row count of the full matrix.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count of the full matrix.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Apply to one line of SIMD batches: `dst[q] = sum_i A[q][i] src[i]`.
+    #[inline]
+    pub fn apply_line<const L: usize>(&self, src: &[Simd<T, L>], dst: &mut [Simd<T, L>]) {
+        debug_assert_eq!(src.len(), self.n_cols);
+        debug_assert_eq!(dst.len(), self.n_rows);
+        let nc = self.n_cols;
+        let nr = self.n_rows;
+        let half = T::from_f64(0.5);
+        // even/odd halves of the input (middle entry kept whole in `e`)
+        let mut e = [Simd::<T, L>::zero(); 16];
+        let mut o = [Simd::<T, L>::zero(); 16];
+        let hc_even = nc.div_ceil(2);
+        for i in 0..nc / 2 {
+            e[i] = (src[i] + src[nc - 1 - i]) * half;
+            o[i] = (src[i] - src[nc - 1 - i]) * half;
+        }
+        if nc % 2 == 1 {
+            e[nc / 2] = src[nc / 2];
+        }
+        let hr = nr.div_ceil(2);
+        for q in 0..hr {
+            let mut p = Simd::<T, L>::zero();
+            for i in 0..hc_even {
+                p = e[i].mul_add(Simd::splat(self.even.get(q, i)), p);
+            }
+            let mut r = Simd::<T, L>::zero();
+            for i in 0..nc / 2 {
+                r = o[i].mul_add(Simd::splat(self.odd.get(q, i)), r);
+            }
+            dst[q] = p + r;
+            let qr = nr - 1 - q;
+            if qr != q {
+                let diff = p - r;
+                dst[qr] = match self.symmetry {
+                    Symmetry::Even => diff,
+                    Symmetry::Odd => -diff,
+                };
+            }
+        }
+    }
+
+    /// Scalar multiplication count per line (for the roofline Flop model):
+    /// even–odd costs `ceil(nr/2) * (ceil(nc/2) + floor(nc/2))` multiplies
+    /// instead of `nr * nc`.
+    pub fn mults_per_line(&self) -> usize {
+        self.n_rows.div_ceil(2) * (self.n_cols.div_ceil(2) + self.n_cols / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::LagrangeBasis1D;
+    use crate::quadrature::gauss_rule;
+
+    fn check_against_dense(n_dofs: usize, n_q: usize) {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(n_dofs));
+        let q = gauss_rule(n_q);
+        let values: DMatrix<f64> = basis.value_matrix(&q.points);
+        let grads: DMatrix<f64> = basis.gradient_matrix(&q.points);
+        for (m, sym) in [(values, Symmetry::Even), (grads, Symmetry::Odd)] {
+            let eo = EvenOddMatrix::compress(&m, sym);
+            let src: Vec<Simd<f64, 4>> = (0..n_dofs)
+                .map(|i| Simd::from_fn(|l| ((i + 1) * (l + 2)) as f64 * 0.1))
+                .collect();
+            let mut dst = vec![Simd::<f64, 4>::zero(); n_q];
+            eo.apply_line(&src, &mut dst);
+            for qi in 0..n_q {
+                for l in 0..4 {
+                    let mut exact = 0.0;
+                    for i in 0..n_dofs {
+                        exact += m.get(qi, i) * src[i][l];
+                    }
+                    assert!(
+                        (dst[qi][l] - exact).abs() < 1e-12,
+                        "mismatch n={n_dofs},nq={n_q},q={qi},l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_for_all_small_sizes() {
+        for n in 2..=8 {
+            for nq in [n, n + 1, n + 2] {
+                check_against_dense(n, nq);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_savings_are_about_half() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(6));
+        let q = gauss_rule(6);
+        let m: DMatrix<f64> = basis.value_matrix(&q.points);
+        let eo = EvenOddMatrix::compress(&m, Symmetry::Even);
+        assert_eq!(eo.mults_per_line(), 3 * 6); // vs 36 dense
+    }
+
+    #[test]
+    #[should_panic(expected = "not")]
+    fn rejects_asymmetric_matrix() {
+        let m = DMatrix::<f64>::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let _ = EvenOddMatrix::compress(&m, Symmetry::Even);
+    }
+}

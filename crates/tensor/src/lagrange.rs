@@ -1,0 +1,210 @@
+//! 1-D Lagrange bases with barycentric evaluation and the interpolation /
+//! differentiation matrices used by sum factorization.
+
+use crate::matrix::DMatrix;
+use crate::quadrature::QuadratureRule;
+use dgflow_simd::Real;
+
+/// Lagrange basis `{l_i}` on a set of distinct nodes in `[0,1]`.
+#[derive(Clone, Debug)]
+pub struct LagrangeBasis1D {
+    nodes: Vec<f64>,
+    /// Barycentric weights `w_i = 1 / prod_{j != i} (x_i - x_j)`.
+    bary: Vec<f64>,
+}
+
+impl LagrangeBasis1D {
+    /// Build the basis from its interpolation nodes.
+    pub fn new(nodes: Vec<f64>) -> Self {
+        let n = nodes.len();
+        assert!(n >= 1);
+        let mut bary = vec![1.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    bary[i] /= nodes[i] - nodes[j];
+                }
+            }
+        }
+        Self { nodes, bary }
+    }
+
+    /// Basis from the points of a quadrature rule (nodal collocation basis).
+    pub fn from_rule(rule: &QuadratureRule) -> Self {
+        Self::new(rule.points.clone())
+    }
+
+    /// Number of basis functions (= polynomial degree + 1).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the basis is empty (never for a valid construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Interpolation nodes.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Value of basis function `i` at `x`.
+    pub fn value(&self, i: usize, x: f64) -> f64 {
+        // On-node shortcut keeps exactness (and avoids 0/0 in barycentric form).
+        for (j, &xj) in self.nodes.iter().enumerate() {
+            if (x - xj).abs() < 1e-14 {
+                return if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let mut num = self.bary[i] / (x - self.nodes[i]);
+        let mut den = 0.0;
+        for j in 0..self.nodes.len() {
+            den += self.bary[j] / (x - self.nodes[j]);
+        }
+        num /= den;
+        num
+    }
+
+    /// Derivative of basis function `i` at `x` (direct product formula;
+    /// fine for the small n used at setup time).
+    pub fn derivative(&self, i: usize, x: f64) -> f64 {
+        let n = self.nodes.len();
+        let mut sum = 0.0;
+        for k in 0..n {
+            if k == i {
+                continue;
+            }
+            let mut prod = 1.0 / (self.nodes[i] - self.nodes[k]);
+            for j in 0..n {
+                if j != i && j != k {
+                    prod *= (x - self.nodes[j]) / (self.nodes[i] - self.nodes[j]);
+                }
+            }
+            sum += prod;
+        }
+        sum
+    }
+
+    /// Interpolation matrix to a set of evaluation points:
+    /// `M[q][i] = l_i(points[q])`.
+    pub fn value_matrix<T: Real>(&self, points: &[f64]) -> DMatrix<T> {
+        DMatrix::from_fn(points.len(), self.len(), |q, i| {
+            T::from_f64(self.value(i, points[q]))
+        })
+    }
+
+    /// Differentiation matrix to a set of evaluation points:
+    /// `M[q][i] = l_i'(points[q])`.
+    pub fn gradient_matrix<T: Real>(&self, points: &[f64]) -> DMatrix<T> {
+        DMatrix::from_fn(points.len(), self.len(), |q, i| {
+            T::from_f64(self.derivative(i, points[q]))
+        })
+    }
+
+    /// Values of all basis functions at one point.
+    pub fn values_at(&self, x: f64) -> Vec<f64> {
+        (0..self.len()).map(|i| self.value(i, x)).collect()
+    }
+
+    /// Derivatives of all basis functions at one point.
+    pub fn derivatives_at(&self, x: f64) -> Vec<f64> {
+        (0..self.len()).map(|i| self.derivative(i, x)).collect()
+    }
+
+    /// Interpolation matrix onto the nodes of this basis restricted to one of
+    /// the two half-intervals — the 1-D building block for h-multigrid
+    /// embedding and hanging-node subface evaluation. `child = 0` maps to
+    /// `[0, 1/2]`, `child = 1` to `[1/2, 1]`:
+    /// `M[q][i] = l_i(child/2 + nodes[q]/2)`.
+    pub fn subinterval_matrix<T: Real>(&self, child: usize, points: &[f64]) -> DMatrix<T> {
+        assert!(child < 2);
+        let shifted: Vec<f64> = points.iter().map(|&x| 0.5 * (x + child as f64)).collect();
+        self.value_matrix(&shifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::{gauss_lobatto_rule, gauss_rule};
+
+    #[test]
+    fn kronecker_property_on_nodes() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(5));
+        for i in 0..5 {
+            for (j, &xj) in basis.nodes().iter().enumerate() {
+                let v = basis.value(i, xj);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_lobatto_rule(6));
+        for &x in &[0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+            let s: f64 = basis.values_at(x).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            let ds: f64 = basis.derivatives_at(x).iter().sum();
+            assert!(ds.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reproduces_polynomials_exactly() {
+        // degree-4 basis must reproduce any degree-4 polynomial
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(5));
+        let p = |x: f64| 3.0 * x.powi(4) - x.powi(2) + 0.5 * x - 2.0;
+        let dp = |x: f64| 12.0 * x.powi(3) - 2.0 * x + 0.5;
+        let coeffs: Vec<f64> = basis.nodes().iter().map(|&x| p(x)).collect();
+        for &x in &[0.07, 0.4, 0.95] {
+            let v: f64 = (0..5).map(|i| coeffs[i] * basis.value(i, x)).sum();
+            let d: f64 = (0..5).map(|i| coeffs[i] * basis.derivative(i, x)).sum();
+            assert!((v - p(x)).abs() < 1e-11);
+            assert!((d - dp(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(4));
+        let h = 1e-6;
+        for i in 0..4 {
+            for &x in &[0.2, 0.6, 0.9] {
+                let fd = (basis.value(i, x + h) - basis.value(i, x - h)) / (2.0 * h);
+                assert!((basis.derivative(i, x) - fd).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn subinterval_matrix_interpolates_halves() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(4));
+        let pts = gauss_rule(4).points;
+        // Interpolating x^3 onto child 1 nodes must match evaluating at
+        // the shifted points.
+        let coeffs: Vec<f64> = basis.nodes().iter().map(|&x| x.powi(3)).collect();
+        let m: DMatrix<f64> = basis.subinterval_matrix(1, &pts);
+        let interp = m.matvec(&coeffs);
+        for (q, &xq) in pts.iter().enumerate() {
+            let x_global = 0.5 * (xq + 1.0);
+            assert!((interp[q] - x_global.powi(3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn value_matrix_shape() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(3));
+        let pts = gauss_rule(5).points;
+        let m: DMatrix<f64> = basis.value_matrix(&pts);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 3);
+    }
+}

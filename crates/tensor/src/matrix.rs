@@ -1,0 +1,218 @@
+//! Small dense row-major matrices used for the 1-D interpolation and
+//! differentiation operators of the sum-factorization kernels.
+
+use dgflow_simd::Real;
+
+/// Dense row-major matrix (`rows × cols`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> DMatrix<T> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Build from a per-entry closure `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { T::ONE } else { T::ZERO })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline(always)]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry accessor.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline(always)]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.rows);
+        Self::from_fn(self.rows, other.cols, |r, c| {
+            let mut s = T::ZERO;
+            for k in 0..self.cols {
+                s += self.get(r, k) * other.get(k, c);
+            }
+            s
+        })
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let mut s = T::ZERO;
+                for c in 0..self.cols {
+                    s += self.get(r, c) * x[c];
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Convert entries to another scalar type.
+    pub fn convert<U: Real>(&self) -> DMatrix<U> {
+        DMatrix::from_fn(self.rows, self.cols, |r, c| U::from_f64(self.get(r, c).to_f64()))
+    }
+
+    /// Solve `self * x = b` in place by Gaussian elimination with partial
+    /// pivoting (for small setup-time systems: mapping inversion, basis
+    /// changes). Returns `None` when singular.
+    pub fn solve(&self, b: &[T]) -> Option<Vec<T>> {
+        assert_eq!(self.rows, self.cols);
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<T> = b.to_vec();
+        for col in 0..n {
+            // pivot
+            let mut piv = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best.to_f64() == 0.0 {
+                return None;
+            }
+            if piv != col {
+                for c in 0..n {
+                    a.swap(col * n + c, piv * n + c);
+                }
+                x.swap(col, piv);
+            }
+            let d = a[col * n + col];
+            for r in col + 1..n {
+                let f = a[r * n + col] / d;
+                if f.to_f64() != 0.0 {
+                    for c in col..n {
+                        let v = a[col * n + c];
+                        a[r * n + c] -= f * v;
+                    }
+                    let xv = x[col];
+                    x[r] -= f * xv;
+                }
+            }
+        }
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for c in col + 1..n {
+                s -= a[col * n + c] * x[c];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = DMatrix::<f64>::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = DMatrix::<f64>::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DMatrix::<f64>::from_fn(2, 5, |r, c| (r * 7 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = DMatrix::<f64>::from_fn(3, 4, |r, c| (r + 2 * c) as f64);
+        let x = vec![1.0, -1.0, 2.0, 0.5];
+        let bx = DMatrix::from_fn(4, 1, |r, _| x[r]);
+        let y = a.matvec(&x);
+        let ym = a.matmul(&bx);
+        for r in 0..3 {
+            assert!((y[r] - ym.get(r, 0)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = DMatrix::<f64>::from_fn(4, 4, |r, c| {
+            if r == c {
+                4.0
+            } else {
+                1.0 / (1.0 + (r as f64 - c as f64).abs())
+            }
+        });
+        let x_true = vec![1.0, -2.0, 3.0, 0.25];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for i in 0..4 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = DMatrix::<f64>::from_fn(2, 2, |_, c| c as f64); // rank 1
+        assert!(a.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn convert_precision() {
+        let a = DMatrix::<f64>::from_fn(2, 2, |r, c| 0.5 * (r + c) as f64);
+        let s: DMatrix<f32> = a.convert();
+        assert_eq!(s.get(1, 1).to_f64(), 1.0);
+    }
+}

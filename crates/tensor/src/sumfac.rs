@@ -1,0 +1,365 @@
+//! Sum-factorization kernels: apply a 1-D operator along one direction of a
+//! 3-D (or degenerate 2-D) tensor of SIMD cell batches.
+//!
+//! These are the innermost loops of the whole solver; every discretized PDE
+//! operator in the workspace is a composition of [`apply_1d`] /
+//! [`apply_1d_eo`] sweeps (the `I_e`, `I_f` of Eq. (7)), pointwise work at
+//! quadrature points (`D_e`, `D_f`), and the face contractions
+//! [`contract_dir`] / [`expand_dir`].
+//!
+//! Index convention: lexicographic, direction 0 fastest:
+//! `idx = i0 + e0*(i1 + e1*i2)`.
+
+use crate::even_odd::EvenOddMatrix;
+use crate::matrix::DMatrix;
+use dgflow_simd::{Real, Simd};
+
+/// Maximum supported 1-D size (degree ≤ 15, quadrature ≤ 16 points).
+pub const MAX_N_1D: usize = 16;
+
+#[inline(always)]
+fn line_dims(dir: usize) -> (usize, usize) {
+    match dir {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("direction out of range"),
+    }
+}
+
+#[inline(always)]
+fn strides(e: [usize; 3]) -> [usize; 3] {
+    [1, e[0], e[0] * e[1]]
+}
+
+/// Output extents after applying an `n_out × n_in` matrix along `dir`.
+pub fn extents_after(extents_in: [usize; 3], dir: usize, n_out: usize) -> [usize; 3] {
+    let mut e = extents_in;
+    e[dir] = n_out;
+    e
+}
+
+/// Total entries of a tensor.
+pub fn tensor_len(e: [usize; 3]) -> usize {
+    e[0] * e[1] * e[2]
+}
+
+/// `dst = M ⊗_dir src` (or `dst += …` when `add`): contract the matrix `m`
+/// (`n_out × n_in`) with direction `dir` of `src`.
+pub fn apply_1d<T: Real, const L: usize>(
+    m: &DMatrix<T>,
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents_in: [usize; 3],
+    dir: usize,
+    add: bool,
+) {
+    let n_in = m.cols();
+    let n_out = m.rows();
+    debug_assert_eq!(extents_in[dir], n_in);
+    debug_assert!(n_in <= MAX_N_1D && n_out <= MAX_N_1D);
+    debug_assert_eq!(src.len(), tensor_len(extents_in));
+    let e_out = extents_after(extents_in, dir, n_out);
+    debug_assert_eq!(dst.len(), tensor_len(e_out));
+    let s_in = strides(extents_in);
+    let s_out = strides(e_out);
+    let (d1, d2) = line_dims(dir);
+    let mut buf = [Simd::<T, L>::zero(); MAX_N_1D];
+    for i2 in 0..extents_in[d2] {
+        for i1 in 0..extents_in[d1] {
+            let base_in = i1 * s_in[d1] + i2 * s_in[d2];
+            let base_out = i1 * s_out[d1] + i2 * s_out[d2];
+            for (i, b) in buf.iter_mut().enumerate().take(n_in) {
+                *b = src[base_in + i * s_in[dir]];
+            }
+            for q in 0..n_out {
+                let row = m.row(q);
+                let mut acc = buf[0] * row[0];
+                for i in 1..n_in {
+                    acc = buf[i].mul_add(Simd::splat(row[i]), acc);
+                }
+                let o = base_out + q * s_out[dir];
+                if add {
+                    dst[o] += acc;
+                } else {
+                    dst[o] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Even–odd variant of [`apply_1d`]: identical result, roughly half the
+/// multiplications for symmetric point sets.
+pub fn apply_1d_eo<T: Real, const L: usize>(
+    m: &EvenOddMatrix<T>,
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents_in: [usize; 3],
+    dir: usize,
+    add: bool,
+) {
+    let n_in = m.cols();
+    let n_out = m.rows();
+    debug_assert_eq!(extents_in[dir], n_in);
+    let e_out = extents_after(extents_in, dir, n_out);
+    let s_in = strides(extents_in);
+    let s_out = strides(e_out);
+    let (d1, d2) = line_dims(dir);
+    let mut buf = [Simd::<T, L>::zero(); MAX_N_1D];
+    let mut out = [Simd::<T, L>::zero(); MAX_N_1D];
+    for i2 in 0..extents_in[d2] {
+        for i1 in 0..extents_in[d1] {
+            let base_in = i1 * s_in[d1] + i2 * s_in[d2];
+            let base_out = i1 * s_out[d1] + i2 * s_out[d2];
+            for (i, b) in buf.iter_mut().enumerate().take(n_in) {
+                *b = src[base_in + i * s_in[dir]];
+            }
+            m.apply_line(&buf[..n_in], &mut out[..n_out]);
+            for (q, &o_val) in out.iter().enumerate().take(n_out) {
+                let o = base_out + q * s_out[dir];
+                if add {
+                    dst[o] += o_val;
+                } else {
+                    dst[o] = o_val;
+                }
+            }
+        }
+    }
+}
+
+/// Contract direction `dir` of a 3-D tensor with the vector `w`
+/// (face-trace evaluation): `dst[i1,i2] = Σ_i w[i] src[..,i,..]`.
+/// Output layout: `d1` fastest, extents `(e[d1], e[d2])`.
+pub fn contract_dir<T: Real, const L: usize>(
+    w: &[T],
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents: [usize; 3],
+    dir: usize,
+) {
+    debug_assert_eq!(w.len(), extents[dir]);
+    let s = strides(extents);
+    let (d1, d2) = line_dims(dir);
+    debug_assert_eq!(dst.len(), extents[d1] * extents[d2]);
+    for i2 in 0..extents[d2] {
+        for i1 in 0..extents[d1] {
+            let base = i1 * s[d1] + i2 * s[d2];
+            let mut acc = Simd::<T, L>::zero();
+            for (i, &wi) in w.iter().enumerate() {
+                acc = src[base + i * s[dir]].mul_add(Simd::splat(wi), acc);
+            }
+            dst[i1 + extents[d1] * i2] = acc;
+        }
+    }
+}
+
+/// Transpose of [`contract_dir`]: scatter a 2-D face tensor back into the
+/// 3-D tensor, `dst[..,i,..] += w[i] * src[i1,i2]`.
+pub fn expand_dir<T: Real, const L: usize>(
+    w: &[T],
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents: [usize; 3],
+    dir: usize,
+) {
+    debug_assert_eq!(w.len(), extents[dir]);
+    let s = strides(extents);
+    let (d1, d2) = line_dims(dir);
+    debug_assert_eq!(src.len(), extents[d1] * extents[d2]);
+    for i2 in 0..extents[d2] {
+        for i1 in 0..extents[d1] {
+            let base = i1 * s[d1] + i2 * s[d2];
+            let v = src[i1 + extents[d1] * i2];
+            for (i, &wi) in w.iter().enumerate() {
+                dst[base + i * s[dir]] = v.mul_add(Simd::splat(wi), dst[base + i * s[dir]]);
+            }
+        }
+    }
+}
+
+/// Apply a 1-D matrix along direction `dir ∈ {0,1}` of a 2-D tensor
+/// (face-tangential interpolation). Layout: direction 0 fastest.
+pub fn apply_1d_2d<T: Real, const L: usize>(
+    m: &DMatrix<T>,
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents_in: [usize; 2],
+    dir: usize,
+    add: bool,
+) {
+    let e3 = [extents_in[0], extents_in[1], 1];
+    apply_1d(m, src, dst, e3, dir, add);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrange::LagrangeBasis1D;
+    use crate::quadrature::gauss_rule;
+    use crate::shape::{NodeSet, ShapeInfo1D};
+
+    type V = Simd<f64, 4>;
+
+    fn naive_apply(m: &DMatrix<f64>, src: &[V], e_in: [usize; 3], dir: usize) -> Vec<V> {
+        let e_out = extents_after(e_in, dir, m.rows());
+        let mut out = vec![V::zero(); tensor_len(e_out)];
+        for i0 in 0..e_out[0] {
+            for i1 in 0..e_out[1] {
+                for i2 in 0..e_out[2] {
+                    let oi = [i0, i1, i2];
+                    let mut acc = V::zero();
+                    for k in 0..e_in[dir] {
+                        let mut ii = oi;
+                        ii[dir] = k;
+                        let idx = ii[0] + e_in[0] * (ii[1] + e_in[1] * ii[2]);
+                        acc += src[idx] * m.get(oi[dir], k);
+                    }
+                    out[i0 + e_out[0] * (i1 + e_out[1] * i2)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(n: usize) -> Vec<V> {
+        (0..n)
+            .map(|i| V::from_fn(|l| ((i * 37 + l * 11) % 23) as f64 * 0.17 - 1.3))
+            .collect()
+    }
+
+    #[test]
+    fn apply_1d_matches_naive_all_directions() {
+        let basis = LagrangeBasis1D::from_rule(&gauss_rule(4));
+        let q = gauss_rule(5);
+        let m: DMatrix<f64> = basis.value_matrix(&q.points);
+        for dir in 0..3 {
+            let mut e_in = [4usize, 4, 4];
+            e_in[dir] = 4;
+            let src = rand_tensor(tensor_len(e_in));
+            let e_out = extents_after(e_in, dir, 5);
+            let mut dst = vec![V::zero(); tensor_len(e_out)];
+            apply_1d(&m, &src, &mut dst, e_in, dir, false);
+            let expect = naive_apply(&m, &src, e_in, dir);
+            for (a, b) in dst.iter().zip(&expect) {
+                for l in 0..4 {
+                    assert!((a[l] - b[l]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_1d_add_accumulates() {
+        let m = DMatrix::<f64>::identity(3);
+        let e = [3usize, 3, 3];
+        let src = rand_tensor(27);
+        let mut dst = vec![V::zero(); 27];
+        apply_1d(&m, &src, &mut dst, e, 0, false);
+        apply_1d(&m, &src, &mut dst, e, 1, true);
+        // dst = src + src
+        for (a, b) in dst.iter().zip(&src) {
+            for l in 0..4 {
+                assert!((a[l] - 2.0 * b[l]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn even_odd_kernel_matches_dense_kernel() {
+        let s: ShapeInfo1D<f64> = ShapeInfo1D::new(3, NodeSet::Gauss, 5);
+        let e_in = [4usize, 4, 4];
+        let src = rand_tensor(tensor_len(e_in));
+        for dir in 0..3 {
+            let e_out = extents_after(e_in, dir, 5);
+            let mut a = vec![V::zero(); tensor_len(e_out)];
+            let mut b = vec![V::zero(); tensor_len(e_out)];
+            apply_1d(&s.values, &src, &mut a, e_in, dir, false);
+            apply_1d_eo(&s.values_eo, &src, &mut b, e_in, dir, false);
+            for (x, y) in a.iter().zip(&b) {
+                for l in 0..4 {
+                    assert!((x[l] - y[l]).abs() < 1e-12);
+                }
+            }
+            // gradients too
+            apply_1d(&s.gradients, &src, &mut a, e_in, dir, false);
+            apply_1d_eo(&s.gradients_eo, &src, &mut b, e_in, dir, false);
+            for (x, y) in a.iter().zip(&b) {
+                for l in 0..4 {
+                    assert!((x[l] - y[l]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contract_then_expand_is_rank_one_projection() {
+        // expand(w, contract(w, u)) applied to a tensor constant along dir
+        // with |w|_1-normalized weights reproduces the tensor.
+        let s: ShapeInfo1D<f64> = ShapeInfo1D::new(2, NodeSet::GaussLobatto, 3);
+        let w = &s.face_values[1]; // trace at x=1: (0,0,1) for GLL
+        let e = [3usize, 3, 3];
+        let src = rand_tensor(27);
+        for dir in 0..3 {
+            let mut face = vec![V::zero(); 9];
+            contract_dir(w, &src, &mut face, e, dir);
+            // GLL trace at 1 picks the last layer
+            let sst = strides(e);
+            let (d1, d2) = line_dims(dir);
+            for i2 in 0..3 {
+                for i1 in 0..3 {
+                    let idx = i1 * sst[d1] + i2 * sst[d2] + 2 * sst[dir];
+                    for l in 0..4 {
+                        assert!((face[i1 + 3 * i2][l] - src[idx][l]).abs() < 1e-12);
+                    }
+                }
+            }
+            let mut back = vec![V::zero(); 27];
+            expand_dir(w, &face, &mut back, e, dir);
+            // only the last layer is touched
+            for i2 in 0..3 {
+                for i1 in 0..3 {
+                    let idx = i1 * sst[d1] + i2 * sst[d2] + 2 * sst[dir];
+                    for l in 0..4 {
+                        assert!((back[idx][l] - src[idx][l]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_interpolation_is_exact_for_polynomials() {
+        // Interpolate a trilinear-in-each-dir polynomial of degree 3 from
+        // nodes to quadrature points via three sweeps; compare pointwise.
+        let s: ShapeInfo1D<f64> = ShapeInfo1D::new(3, NodeSet::GaussLobatto, 5);
+        let n = 4;
+        let f = |x: f64, y: f64, z: f64| {
+            (1.0 + 2.0 * x + x * x * x) * (0.5 - y * y) * (1.0 + z * z * z)
+        };
+        let mut nodal = vec![V::zero(); n * n * n];
+        for i2 in 0..n {
+            for i1 in 0..n {
+                for i0 in 0..n {
+                    nodal[i0 + n * (i1 + n * i2)] =
+                        V::splat(f(s.nodes[i0], s.nodes[i1], s.nodes[i2]));
+                }
+            }
+        }
+        let mut t1 = vec![V::zero(); 5 * n * n];
+        apply_1d(&s.values, &nodal, &mut t1, [n, n, n], 0, false);
+        let mut t2 = vec![V::zero(); 5 * 5 * n];
+        apply_1d(&s.values, &t1, &mut t2, [5, n, n], 1, false);
+        let mut t3 = vec![V::zero(); 125];
+        apply_1d(&s.values, &t2, &mut t3, [5, 5, n], 2, false);
+        for q2 in 0..5 {
+            for q1 in 0..5 {
+                for q0 in 0..5 {
+                    let exact = f(s.quad.points[q0], s.quad.points[q1], s.quad.points[q2]);
+                    let got = t3[q0 + 5 * (q1 + 5 * q2)][0];
+                    assert!((got - exact).abs() < 1e-11, "{got} vs {exact}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Export the generated airway tree and lung surface mesh as Wavefront OBJ
+//! files for visualization (the data behind Figures 1 and 3).
+//!
+//! Run with: `cargo run --release --example airway_tree_export -- [generations] [out_dir]`
+
+use dgflow::lung::lung_mesh;
+use dgflow::mesh::Forest;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let g: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let out_dir = args.next().unwrap_or_else(|| ".".into());
+
+    let mesh = lung_mesh(g);
+    println!(
+        "lung g={g}: {} branches, {} terminals, {} cells, {} vertices",
+        mesh.tree.branches.len(),
+        mesh.outlets.len(),
+        mesh.n_cells(),
+        mesh.coarse.vertices.len()
+    );
+
+    // centerline skeleton as OBJ line elements
+    let mut skel = String::from("# dgflow airway-tree centerlines\n");
+    for b in &mesh.tree.branches {
+        let s = b.start;
+        let e = b.end();
+        writeln!(skel, "v {} {} {}", s[0], s[1], s[2]).unwrap();
+        writeln!(skel, "v {} {} {}", e[0], e[1], e[2]).unwrap();
+    }
+    for i in 0..mesh.tree.branches.len() {
+        writeln!(skel, "l {} {}", 2 * i + 1, 2 * i + 2).unwrap();
+    }
+    let skel_path = format!("{out_dir}/airway_tree_g{g}.obj");
+    std::fs::File::create(&skel_path)
+        .unwrap()
+        .write_all(skel.as_bytes())
+        .unwrap();
+    println!("wrote {skel_path}");
+
+    // boundary surface of the hex mesh as OBJ quads
+    let forest = Forest::new(mesh.coarse.clone());
+    let faces = forest.build_faces();
+    let mut surf = String::from("# dgflow lung surface\n");
+    for v in &mesh.coarse.vertices {
+        writeln!(surf, "v {} {} {}", v[0], v[1], v[2]).unwrap();
+    }
+    let mut n_quads = 0;
+    for f in &faces {
+        if f.plus.is_some() {
+            continue;
+        }
+        let cell = forest.active_cell(f.minus as usize);
+        let verts = mesh.coarse.cells[cell.tree as usize];
+        let fv = dgflow::mesh::topology::face_vertices(f.face_minus as usize);
+        // OBJ is 1-based; emit the quad with consistent winding
+        writeln!(
+            surf,
+            "f {} {} {} {}",
+            verts[fv[0]] + 1,
+            verts[fv[1]] + 1,
+            verts[fv[3]] + 1,
+            verts[fv[2]] + 1
+        )
+        .unwrap();
+        n_quads += 1;
+    }
+    let surf_path = format!("{out_dir}/lung_surface_g{g}.obj");
+    std::fs::File::create(&surf_path)
+        .unwrap()
+        .write_all(surf.as_bytes())
+        .unwrap();
+    println!("wrote {surf_path} ({n_quads} boundary quads)");
+}

@@ -1,0 +1,58 @@
+//! # dgflow
+//!
+//! A matrix-free, high-order discontinuous Galerkin solver for the
+//! incompressible Navier–Stokes equations with a hybrid
+//! geometric–polynomial–algebraic multigrid pressure solver and a
+//! mechanical-ventilation lung application — a from-scratch Rust
+//! reproduction of *"A Next-Generation Discontinuous Galerkin Fluid
+//! Dynamics Solver with Application to High-Resolution Lung Airflow
+//! Simulations"* (Kronbichler et al., SC '21).
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`simd`] | cross-element SIMD batches, `Real` scalar abstraction |
+//! | [`tensor`] | quadrature, 1-D bases, sum-factorization kernels |
+//! | [`mesh`] | hex meshes, forest-of-octrees, hanging nodes, Morton partitioning |
+//! | [`lung`] | airway-tree growth and hex-only lung meshing |
+//! | [`fem`] | matrix-free operator infrastructure, SIPG Laplacian, CG spaces |
+//! | [`solvers`] | CG, Chebyshev, CSR, aggregation AMG |
+//! | [`multigrid`] | the hybrid multigrid preconditioner (mixed precision) |
+//! | [`core`] | the dual-splitting Navier–Stokes solver + ventilation |
+//! | [`comm`] | thread-rank message passing, ghost exchange, parallel_for |
+//! | [`perfmodel`] | roofline + strong/weak scaling models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dgflow::mesh::{CoarseMesh, Forest, TrilinearManifold};
+//! use dgflow::multigrid::solve_poisson;
+//!
+//! let mut forest = Forest::new(CoarseMesh::hyper_cube());
+//! forest.refine_global(1);
+//! let manifold = TrilinearManifold::from_forest(&forest);
+//! let mut u = Vec::new();
+//! let stats = solve_poisson::<4>(
+//!     &forest,
+//!     &manifold,
+//!     2,
+//!     vec![dgflow::fem::BoundaryCondition::Dirichlet],
+//!     &|_| 1.0,   // -Δu = 1
+//!     &|_| 0.0,   // u = 0 on ∂Ω
+//!     1e-8,
+//!     &mut u,
+//! );
+//! assert!(stats.converged);
+//! ```
+
+pub use dgflow_comm as comm;
+pub use dgflow_core as core;
+pub use dgflow_fem as fem;
+pub use dgflow_lung as lung;
+pub use dgflow_mesh as mesh;
+pub use dgflow_multigrid as multigrid;
+pub use dgflow_perfmodel as perfmodel;
+pub use dgflow_simd as simd;
+pub use dgflow_solvers as solvers;
+pub use dgflow_tensor as tensor;

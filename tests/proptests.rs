@@ -1,0 +1,188 @@
+//! Property-based tests on the core numerical invariants, spanning crates.
+
+use dgflow::mesh::{CoarseMesh, FaceOrientation, Forest};
+use dgflow::solvers::{cg_solve, AlgebraicMultigrid, AmgParams, CsrMatrix, LinearOperator};
+use dgflow::tensor::sumfac::{apply_1d, extents_after, tensor_len};
+use dgflow::tensor::{gauss_rule, DMatrix, LagrangeBasis1D};
+use dgflow_simd::Simd;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// n-point Gauss integrates any polynomial of degree ≤ 2n−1 exactly.
+    #[test]
+    fn gauss_quadrature_exact_on_random_polynomials(
+        n in 1usize..9,
+        coeffs in proptest::collection::vec(-3.0f64..3.0, 1..16),
+    ) {
+        let rule = gauss_rule(n);
+        let deg = (2 * n - 1).min(coeffs.len() - 1);
+        let poly = |x: f64| -> f64 {
+            coeffs[..=deg].iter().rev().fold(0.0, |acc, &c| acc * x + c)
+        };
+        let exact: f64 = coeffs[..=deg]
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c / (k as f64 + 1.0))
+            .sum();
+        let approx = rule.integrate(poly);
+        let scale = exact.abs().max(1.0);
+        prop_assert!((approx - exact).abs() < 1e-12 * scale);
+    }
+
+    /// Lagrange interpolation reproduces the polynomial it interpolates.
+    #[test]
+    fn lagrange_reproduces_its_own_degree(
+        n in 2usize..8,
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 8),
+        x in 0.0f64..1.0,
+    ) {
+        let basis = LagrangeBasis1D::new(gauss_rule(n).points.clone());
+        let poly = |x: f64| coeffs[..n].iter().rev().fold(0.0, |acc, &c| acc * x + c);
+        let nodal: Vec<f64> = basis.nodes().iter().map(|&xn| poly(xn)).collect();
+        let v: f64 = (0..n).map(|i| nodal[i] * basis.value(i, x)).sum();
+        prop_assert!((v - poly(x)).abs() < 1e-10);
+    }
+
+    /// Sum-factorized application equals the naive tensor contraction.
+    #[test]
+    fn sumfac_matches_naive(
+        n_in in 2usize..6,
+        n_out in 2usize..6,
+        dir in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let m = DMatrix::<f64>::from_fn(n_out, n_in, |r, c| {
+            (((r * 7 + c * 13 + seed as usize) % 19) as f64 - 9.0) * 0.1
+        });
+        let e_in = [n_in, n_in, n_in];
+        let src: Vec<Simd<f64, 2>> = (0..tensor_len(e_in))
+            .map(|i| Simd::from_fn(|l| ((i * 31 + l * 17 + seed as usize) % 23) as f64 * 0.07))
+            .collect();
+        let e_out = extents_after(e_in, dir, n_out);
+        let mut dst = vec![Simd::<f64, 2>::zero(); tensor_len(e_out)];
+        apply_1d(&m, &src, &mut dst, e_in, dir, false);
+        // naive
+        for i0 in 0..e_out[0] {
+            for i1 in 0..e_out[1] {
+                for i2 in 0..e_out[2] {
+                    let oi = [i0, i1, i2];
+                    let mut acc = [0.0; 2];
+                    for k in 0..n_in {
+                        let mut ii = oi;
+                        ii[dir] = k;
+                        let s = src[ii[0] + e_in[0] * (ii[1] + e_in[1] * ii[2])];
+                        for l in 0..2 {
+                            acc[l] += m.get(oi[dir], k) * s[l];
+                        }
+                    }
+                    let got = dst[i0 + e_out[0] * (i1 + e_out[1] * i2)];
+                    for l in 0..2 {
+                        prop_assert!((got[l] - acc[l]).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The 8 face orientations form a closed group with exact inverses on
+    /// arbitrary points.
+    #[test]
+    fn orientation_inverse_roundtrip(code in 0u8..8, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let o = FaceOrientation::from_code(code);
+        let (s, t) = o.map_unit(a, b);
+        let (a2, b2) = o.inverse().map_unit(s, t);
+        prop_assert!((a2 - a).abs() < 1e-14);
+        prop_assert!((b2 - b).abs() < 1e-14);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Morton partitioning stays contiguous and balanced for arbitrary
+    /// refinement patterns.
+    #[test]
+    fn partition_balanced_under_random_refinement(
+        pattern in proptest::collection::vec(any::<bool>(), 8),
+        ranks in 1usize..9,
+    ) {
+        let mut forest = Forest::new(CoarseMesh::hyper_cube());
+        forest.refine_global(1);
+        forest.refine_active(&pattern);
+        let owner = dgflow::mesh::morton_partition(&forest, ranks);
+        for w in owner.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut counts = vec![0usize; ranks];
+        for &r in &owner {
+            counts[r] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Adaptive refinement keeps the forest 2:1 balanced and the SIPG
+    /// Laplacian symmetric positive semi-definite.
+    #[test]
+    fn random_adaptive_mesh_keeps_operator_spd(
+        pattern in proptest::collection::vec(any::<bool>(), 8),
+        seed in 0usize..50,
+    ) {
+        let mut forest = Forest::new(CoarseMesh::hyper_cube());
+        forest.refine_global(1);
+        forest.refine_active(&pattern);
+        let manifold = dgflow::mesh::TrilinearManifold::from_forest(&forest);
+        let mf = std::sync::Arc::new(dgflow::fem::MatrixFree::<f64, 4>::new(
+            &forest,
+            &manifold,
+            dgflow::fem::MfParams::dg(2),
+        ));
+        let op = dgflow::fem::LaplaceOperator::new(mf.clone());
+        let n = mf.n_dofs();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (((i + seed) * 2654435761) % 997) as f64 / 500.0 - 1.0)
+            .collect();
+        let mut lx = vec![0.0; n];
+        op.apply(&x, &mut lx);
+        let xlx: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        prop_assert!(xlx >= -1e-10, "xᵀLx = {xlx}");
+    }
+
+    /// AMG-preconditioned CG solves random diagonally-dominant SPD systems.
+    #[test]
+    fn amg_cg_solves_random_spd(
+        n in 20usize..80,
+        seed in 0u64..100,
+    ) {
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            let mut offdiag = 0.0;
+            for j in [i.wrapping_sub(1), i + 1, i + 7] {
+                if j < n && j != i {
+                    let w = -(((i * 31 + j * 17 + seed as usize) % 5) as f64 * 0.2 + 0.1);
+                    triplets.push((i, j, w));
+                    triplets.push((j, i, w));
+                    offdiag += w.abs() * 2.0;
+                }
+            }
+            triplets.push((i, i, offdiag + 1.0));
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets);
+        let amg = AlgebraicMultigrid::new(a.clone(), AmgParams {
+            max_coarse_size: 8,
+            ..AmgParams::default()
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize) % 7) as f64 - 3.0).collect();
+        let mut b = vec![0.0; n];
+        a.apply(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let res = cg_solve(&a, &amg, &b, &mut x, 1e-10, 200);
+        prop_assert!(res.converged);
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-6);
+        }
+    }
+}
