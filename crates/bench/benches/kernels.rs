@@ -23,12 +23,12 @@ fn bench_sumfac(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dense", k), &k, |b, _| {
             b.iter(|| {
                 apply_1d(&shape.colloc_gradients, &src, &mut dst, [n, n, n], 0, false);
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("even_odd", k), &k, |b, _| {
             b.iter(|| {
                 apply_1d_eo(&shape.gradients_eo, &src, &mut dst, [n, n, n], 0, false);
-            })
+            });
         });
     }
     group.finish();
@@ -53,7 +53,7 @@ fn bench_laplace_matvec(c: &mut Criterion) {
         let op = LaplaceOperator::new(mf.clone());
         group.throughput(Throughput::Elements(mf.n_dofs() as u64));
         group.bench_with_input(BenchmarkId::new("dp", k), &k, |b, _| {
-            b.iter(|| op.apply(&src, &mut dst))
+            b.iter(|| op.apply(&src, &mut dst));
         });
     }
     group.finish();
@@ -65,7 +65,11 @@ fn bench_smoother(c: &mut Criterion) {
     let mut forest = Forest::new(CoarseMesh::subdivided_box([2, 2, 2], [1.0; 3]));
     forest.refine_global(2);
     let manifold = TrilinearManifold::from_forest(&forest);
-    let mf = Arc::new(MatrixFree::<f32, 16>::new(&forest, &manifold, MfParams::dg(3)));
+    let mf = Arc::new(MatrixFree::<f32, 16>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(3),
+    ));
     let op = LaplaceOperator::new(mf.clone());
     let inv: Vec<f32> = op.compute_diagonal().iter().map(|d| 1.0 / d).collect();
     let cheb = ChebyshevSmoother::new(&op, inv, 3, 20.0);
@@ -74,7 +78,7 @@ fn bench_smoother(c: &mut Criterion) {
     let mut x = vec![0.0f32; n];
     group.throughput(Throughput::Elements(3 * n as u64));
     group.bench_function("degree3", |b| {
-        b.iter(|| cheb.smooth(&op, &bvec, &mut x, true))
+        b.iter(|| cheb.smooth(&op, &bvec, &mut x, true));
     });
     group.finish();
 }
@@ -88,7 +92,7 @@ fn bench_convective(c: &mut Criterion) {
     let mut dst = vec![0.0; u.len()];
     group.throughput(Throughput::Elements(3 * mf.n_dofs() as u64));
     group.bench_function("k3", |b| {
-        b.iter(|| dgflow_core::convective_term(&mf, &bcs, &u, &mut dst))
+        b.iter(|| dgflow_core::convective_term(&mf, &bcs, &u, &mut dst));
     });
     group.finish();
 }

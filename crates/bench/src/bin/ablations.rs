@@ -29,28 +29,55 @@ fn main() {
         BoundaryCondition::Dirichlet,
         BoundaryCondition::Dirichlet,
     ];
-    let mf = Arc::new(MatrixFree::<f64, 8>::new(&forest, &manifold, MfParams::dg(2)));
+    let mf = Arc::new(MatrixFree::<f64, 8>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let op = LaplaceOperator::with_bc(mf.clone(), bc.clone());
     let rhs = integrate_rhs(&mf, &|x| (x[2] * 200.0).sin());
-    row(&"variant|CG its|solve [s]".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"variant|CG its|solve [s]"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     row(&"--|--|--".split('|').map(String::from).collect::<Vec<_>>());
     // SP V-cycle (the paper's configuration)
     {
         let mg = MixedPrecisionMg::<8> {
-            mg: HybridMultigrid::<f32, 8>::build(&forest, &manifold, 2, bc.clone(), MgParams::default()),
+            mg: HybridMultigrid::<f32, 8>::build(
+                &forest,
+                &manifold,
+                2,
+                bc.clone(),
+                MgParams::default(),
+            ),
         };
         let mut x = vec![0.0; mf.n_dofs()];
         let t = Instant::now();
         let r = cg_solve(&op, &mg, &rhs, &mut x, 1e-10, 100);
-        row(&["SP V-cycle (paper)".into(), r.iterations.to_string(), eng(t.elapsed().as_secs_f64())]);
+        row(&[
+            "SP V-cycle (paper)".into(),
+            r.iterations.to_string(),
+            eng(t.elapsed().as_secs_f64()),
+        ]);
     }
     // DP V-cycle
     {
-        let mg = HybridMultigrid::<f64, 8>::build(&forest, &manifold, 2, bc.clone(), MgParams::default());
+        let mg = HybridMultigrid::<f64, 8>::build(
+            &forest,
+            &manifold,
+            2,
+            bc.clone(),
+            MgParams::default(),
+        );
         let mut x = vec![0.0; mf.n_dofs()];
         let t = Instant::now();
         let r = cg_solve(&op, &mg, &rhs, &mut x, 1e-10, 100);
-        row(&["DP V-cycle".into(), r.iterations.to_string(), eng(t.elapsed().as_secs_f64())]);
+        row(&[
+            "DP V-cycle".into(),
+            r.iterations.to_string(),
+            eng(t.elapsed().as_secs_f64()),
+        ]);
     }
     // SP W-cycle
     {
@@ -60,13 +87,20 @@ fn main() {
                 &manifold,
                 2,
                 bc.clone(),
-                MgParams { cycle: CycleType::W, ..MgParams::default() },
+                MgParams {
+                    cycle: CycleType::W,
+                    ..MgParams::default()
+                },
             ),
         };
         let mut x = vec![0.0; mf.n_dofs()];
         let t = Instant::now();
         let r = cg_solve(&op, &mg, &rhs, &mut x, 1e-10, 100);
-        row(&["SP W-cycle".into(), r.iterations.to_string(), eng(t.elapsed().as_secs_f64())]);
+        row(&[
+            "SP W-cycle".into(),
+            r.iterations.to_string(),
+            eng(t.elapsed().as_secs_f64()),
+        ]);
     }
     // Jacobi only (no multigrid)
     {
@@ -74,7 +108,11 @@ fn main() {
         let mut x = vec![0.0; mf.n_dofs()];
         let t = Instant::now();
         let r = cg_solve(&op, &jac, &rhs, &mut x, 1e-10, 5000);
-        row(&["point-Jacobi (no MG)".into(), r.iterations.to_string(), eng(t.elapsed().as_secs_f64())]);
+        row(&[
+            "point-Jacobi (no MG)".into(),
+            r.iterations.to_string(),
+            eng(t.elapsed().as_secs_f64()),
+        ]);
     }
     println!();
 
@@ -83,7 +121,10 @@ fn main() {
     // bifurcation (air parameters, sharp startup) — the regime the penalty
     // stabilization targets
     println!("## divergence/continuity penalty (ventilated bifurcation, 15 steps)");
-    row(&"ζ_D, ζ_C|‖D u‖ after run".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"ζ_D, ζ_C|‖D u‖ after run"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     row(&"--|--".split('|').map(String::from).collect::<Vec<_>>());
     for (zd, zc) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)] {
         let tree = dgflow_lung::bifurcation_tree();
@@ -108,8 +149,14 @@ fn main() {
 
     // --- 3. even-odd vs dense 1-D sweeps --------------------------------
     println!("## even–odd decomposition (1-D collocation-derivative sweep, batches of 8)");
-    row(&"k|dense [sweeps/s]|even–odd [sweeps/s]|speedup".split('|').map(String::from).collect::<Vec<_>>());
-    row(&"--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"k|dense [sweeps/s]|even–odd [sweeps/s]|speedup"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
+    row(&"--|--|--|--"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     for k in [2usize, 3, 5, 7] {
         let n = k + 1;
         let shape: ShapeInfo1D<f64> = ShapeInfo1D::new(k, NodeSet::Gauss, n);
@@ -124,7 +171,14 @@ fn main() {
         }) / reps as f64;
         let t_eo = best_time(5, || {
             for _ in 0..reps {
-                apply_1d_eo(&shape.colloc_gradients_eo, &src, &mut dst, [n, n, n], 0, false);
+                apply_1d_eo(
+                    &shape.colloc_gradients_eo,
+                    &src,
+                    &mut dst,
+                    [n, n, n],
+                    0,
+                    false,
+                );
                 std::hint::black_box(&dst);
             }
         }) / reps as f64;

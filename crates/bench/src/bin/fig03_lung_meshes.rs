@@ -8,11 +8,16 @@ use dgflow_lung::{AirwayTree, TreeParams};
 fn main() {
     println!("# Fig. 3/4 — lung model and mesh-generation pipeline");
     println!();
-    row(&"g|branches|terminals|coarse cells|vertices|+upper refinement|hanging faces"
+    row(
+        &"g|branches|terminals|coarse cells|vertices|+upper refinement|hanging faces"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
+    row(&"--|--|--|--|--|--|--"
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
     for g in [3usize, 5, 7, 9, 11] {
         let tree = AirwayTree::grow(TreeParams::adult(g));
         let (forest, mesh) = lung_forest(g, true, 0);
@@ -37,7 +42,11 @@ fn main() {
     let manifold = dgflow_mesh::TrilinearManifold::from_forest(&forest);
     let mf: dgflow_fem::MatrixFree<f64, 8> =
         dgflow_fem::MatrixFree::new(&forest, &manifold, dgflow_fem::MfParams::dg(2));
-    let vmin = mf.cell_volumes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let vmin = mf
+        .cell_volumes
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let vmax = mf.cell_volumes.iter().cloned().fold(0.0f64, f64::max);
     println!();
     println!(

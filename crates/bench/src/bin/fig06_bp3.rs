@@ -58,7 +58,10 @@ fn main() {
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"--|--|--|--|--"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     // literature shape (CEED-MS35/36): GPU saturates near 2.5e9 with a steep
     // small-size cliff (crossover vs CPU at ~1e6 DoF); A64FX in between.
     let v100 = |n: f64| 2.5e9 / (1.0 + 2.0e6 / n);
@@ -80,6 +83,9 @@ fn main() {
     println!();
     println!("shape check (paper): the CPU curve is the most competitive at");
     println!("small sizes (1e4–1e6 DoF) and saturates below the GPU at large");
-    println!("sizes; measured CPU saturated throughput here: {} DoF/s/it", eng(cpu_saturated));
+    println!(
+        "sizes; measured CPU saturated throughput here: {} DoF/s/it",
+        eng(cpu_saturated)
+    );
     let _ = f64::ZERO;
 }

@@ -28,14 +28,23 @@ fn main() {
         forest.n_active()
     );
     println!();
-    row(&"k|DoF|DG mat-vec DP [DoF/s]|DG smoother-it SP [DoF/s]|CG(L-1) mat-vec DP [DoF/s]|SP/DP"
+    row(
+        &"k|DoF|DG mat-vec DP [DoF/s]|DG smoother-it SP [DoF/s]|CG(L-1) mat-vec DP [DoF/s]|SP/DP"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
+    row(&"--|--|--|--|--|--"
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
     for k in 1..=6usize {
         // DG double precision
-        let mf = Arc::new(MatrixFree::<f64, 8>::new(&forest, &manifold, MfParams::dg(k)));
+        let mf = Arc::new(MatrixFree::<f64, 8>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(k),
+        ));
         let op = LaplaceOperator::new(mf.clone());
         let n = mf.n_dofs();
         let src: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.1).collect();
@@ -43,7 +52,11 @@ fn main() {
         let reps = (20_000_000 / n).clamp(3, 20);
         let t_dp = best_time(reps, || op.apply(&src, &mut dst));
         // DG single precision smoother iteration (matvec + vector updates)
-        let mf32 = Arc::new(MatrixFree::<f32, 16>::new(&forest, &manifold, MfParams::dg(k)));
+        let mf32 = Arc::new(MatrixFree::<f32, 16>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(k),
+        ));
         let op32 = LaplaceOperator::new(mf32.clone());
         let diag32 = op32.compute_diagonal();
         let inv32: Vec<f32> = diag32.iter().map(|d| 1.0 / d).collect();

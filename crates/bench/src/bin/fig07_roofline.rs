@@ -13,16 +13,28 @@ use std::sync::Arc;
 fn main() {
     let (forest, _) = lung_forest(5, false, 0);
     let manifold = TrilinearManifold::from_forest(&forest);
-    println!("# Fig. 7 — roofline of the DG Laplacian (lung geometry, {} cells)", forest.n_active());
+    println!(
+        "# Fig. 7 — roofline of the DG Laplacian (lung geometry, {} cells)",
+        forest.n_active()
+    );
     println!();
-    row(&"k|AI ideal [F/B]|AI measured|GFlop/s|bandwidth-bound limit (ideal)"
+    row(
+        &"k|AI ideal [F/B]|AI measured|GFlop/s|bandwidth-bound limit (ideal)"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
+    row(&"--|--|--|--|--"
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
     let mut measured_bw: f64 = 0.0;
     for k in 1..=6usize {
-        let mf = Arc::new(MatrixFree::<f64, 8>::new(&forest, &manifold, MfParams::dg(k)));
+        let mf = Arc::new(MatrixFree::<f64, 8>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(k),
+        ));
         let op = LaplaceOperator::new(mf.clone());
         let n = mf.n_dofs();
         let src: Vec<f64> = (0..n).map(|i| (i % 29) as f64 * 0.03).collect();
@@ -43,7 +55,10 @@ fn main() {
         ]);
     }
     println!();
-    println!("inferred streaming bandwidth ≈ {} GB/s", eng(measured_bw / 1e9));
+    println!(
+        "inferred streaming bandwidth ≈ {} GB/s",
+        eng(measured_bw / 1e9)
+    );
     let sm = MachineModel::supermuc_ng();
     println!(
         "paper machine for comparison: {} GB/s per node, {} GFlop/s peak —",

@@ -16,7 +16,11 @@ use std::sync::Arc;
 
 fn measure_saturated(forest: &dgflow_mesh::Forest) -> f64 {
     let manifold = TrilinearManifold::from_forest(forest);
-    let mf = Arc::new(MatrixFree::<f64, 8>::new(forest, &manifold, MfParams::dg(3)));
+    let mf = Arc::new(MatrixFree::<f64, 8>::new(
+        forest,
+        &manifold,
+        MfParams::dg(3),
+    ));
     let op = LaplaceOperator::new(mf.clone());
     let n = mf.n_dofs();
     let src: Vec<f64> = (0..n).map(|i| (i % 31) as f64 * 0.02).collect();
@@ -57,7 +61,10 @@ fn main() {
             .split('|')
             .map(String::from)
             .collect::<Vec<_>>());
-        row(&"--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+        row(&"--|--|--|--"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>());
         for p in strong_scaling_sweep(&machine, &c, dofs, &nodes, complexity) {
             if p.dofs_per_node < 1e3 {
                 continue;

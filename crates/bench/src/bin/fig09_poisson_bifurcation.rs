@@ -19,7 +19,10 @@ fn main() {
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"--|--|--|--|--"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     let mut iterations = 9;
     for l in 0..=1usize {
         let (forest, _) = bifurcation_forest(l);
@@ -30,7 +33,7 @@ fn main() {
             &manifold,
             3,
             vec![
-                dgflow_fem::BoundaryCondition::Neumann, // walls
+                dgflow_fem::BoundaryCondition::Neumann,   // walls
                 dgflow_fem::BoundaryCondition::Dirichlet, // inlet
                 dgflow_fem::BoundaryCondition::Dirichlet, // outlets
                 dgflow_fem::BoundaryCondition::Dirichlet,
@@ -61,7 +64,10 @@ fn main() {
         ("l=6, 7.9G DoF", 7.9e9),
     ] {
         println!("### {label}");
-        row(&"nodes|time/solve [s]".split('|').map(String::from).collect::<Vec<_>>());
+        row(&"nodes|time/solve [s]"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>());
         row(&"--|--".split('|').map(String::from).collect::<Vec<_>>());
         let model = MgSolveModel {
             level_dofs: hybrid_level_sizes(dofs, 3, 2e5),

@@ -16,7 +16,10 @@ fn main() {
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"--|--|--|--|--"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     let mut iterations = 21;
     for g in [2usize, 3, 4] {
         let (forest, mesh) = lung_forest(g, true, 0);
@@ -66,7 +69,10 @@ fn main() {
         ("l=3, 11G DoF", 11e9),
     ] {
         println!("### {label}");
-        row(&"nodes|time/solve [s]".split('|').map(String::from).collect::<Vec<_>>());
+        row(&"nodes|time/solve [s]"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>());
         row(&"--|--".split('|').map(String::from).collect::<Vec<_>>());
         let model = MgSolveModel {
             level_dofs: hybrid_level_sizes(dofs, 3, 3e5),
@@ -93,8 +99,14 @@ fn main() {
     };
     let t_total = model.solve_time(&machine, 1024);
     let amg_share = 21.0 * machine.amg_latency * 2.0 / t_total;
-    println!("breakdown, 179M DoF on 1024 nodes: AMG coarse solve {:.0}% of the", amg_share * 100.0);
-    println!("V-cycle (paper: 45%); total modeled solve {} s (paper ≈ 0.15 s floor).", eng(t_total));
+    println!(
+        "breakdown, 179M DoF on 1024 nodes: AMG coarse solve {:.0}% of the",
+        amg_share * 100.0
+    );
+    println!(
+        "V-cycle (paper: 45%); total modeled solve {} s (paper ≈ 0.15 s floor).",
+        eng(t_total)
+    );
     println!();
     println!("shape checks vs the paper: ≈2× more CG iterations than the");
     println!("bifurcation (21-22 vs 9), scaling saturates at a 2-3× higher");

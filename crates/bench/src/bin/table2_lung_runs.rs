@@ -23,11 +23,16 @@ fn main() {
         .unwrap_or_else(|| vec![1, 2, 3]);
     println!("# Table 2 — lung application runs (k=3, CFL 0.4, tol 1e-3)");
     println!();
-    row(&"g|#cell|#DoF|dt [s]|t_wall/dt [s]|N_dt (extrap.)|h/cycle|h/l"
+    row(
+        &"g|#cell|#DoF|dt [s]|t_wall/dt [s]|N_dt (extrap.)|h/cycle|h/l"
+            .split('|')
+            .map(String::from)
+            .collect::<Vec<_>>(),
+    );
+    row(&"--|--|--|--|--|--|--|--"
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--|--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
     for &g in &gens {
         let (forest, mesh) = lung_forest(g, false, 0);
         let manifold = TrilinearManifold::from_forest(&forest);
@@ -39,7 +44,14 @@ fn main() {
         let mut vent = VentilationModel::from_lung(&mesh, VentilatorSettings::default());
         let mut solver = FlowSolver::<8>::new(&forest, &manifold, params, bcs);
         let rho = solver.density();
-        vent.update(0.0, 0.0, 0.0, &vec![0.0; mesh.outlets.len()], rho, &mut solver.bcs);
+        vent.update(
+            0.0,
+            0.0,
+            0.0,
+            &vec![0.0; mesh.outlets.len()],
+            rho,
+            &mut solver.bcs,
+        );
         let mut wall = 0.0;
         let mut dt_sum = 0.0;
         for _ in 0..n_steps {

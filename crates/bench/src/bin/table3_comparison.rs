@@ -16,7 +16,10 @@ fn main() {
         .split('|')
         .map(String::from)
         .collect::<Vec<_>>());
-    row(&"--|--|--|--".split('|').map(String::from).collect::<Vec<_>>());
+    row(&"--|--|--|--"
+        .split('|')
+        .map(String::from)
+        .collect::<Vec<_>>());
     for (pubref, machine, t) in [
         ("Nek5000 [51]", "Mira (Power BQC)", "0.1"),
         ("NekRS [39]", "Summit (V100)", "0.066 – 0.1"),
@@ -53,7 +56,11 @@ fn main() {
     // measured single-core per-matvec cost for transparency
     let (forest, _) = bifurcation_forest(1);
     let manifold = TrilinearManifold::from_forest(&forest);
-    let mf = Arc::new(MatrixFree::<f64, 8>::new(&forest, &manifold, MfParams::dg(3)));
+    let mf = Arc::new(MatrixFree::<f64, 8>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(3),
+    ));
     let op = LaplaceOperator::new(mf.clone());
     let n = mf.n_dofs();
     let src: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();

@@ -80,6 +80,6 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
         assert_eq!(k, 3);
-        assert!(t >= 0.001 && t < 0.1);
+        assert!((0.001..0.1).contains(&t));
     }
 }

@@ -66,14 +66,17 @@ struct Shared {
     slots: Mutex<Vec<f64>>,
 }
 
+/// A tagged point-to-point message: `(tag, payload)`.
+type Msg = (u64, Vec<f64>);
+
 /// One rank of an in-process SPMD group.
 pub struct ThreadComm {
     rank: usize,
     size: usize,
     /// senders[d]: channel to rank d
-    senders: Vec<Sender<(u64, Vec<f64>)>>,
+    senders: Vec<Sender<Msg>>,
     /// receivers[s]: channel from rank s
-    receivers: Vec<Receiver<(u64, Vec<f64>)>>,
+    receivers: Vec<Receiver<Msg>>,
     shared: Arc<Shared>,
 }
 
@@ -83,9 +86,10 @@ impl ThreadComm {
     pub fn run<R: Send>(size: usize, f: impl Fn(&ThreadComm) -> R + Sync) -> Vec<R> {
         assert!(size >= 1);
         // channel matrix: channels[s][d] carries messages from s to d
-        let mut txs: Vec<Vec<Sender<(u64, Vec<f64>)>>> = Vec::with_capacity(size);
-        let mut rxs: Vec<Vec<Option<Receiver<(u64, Vec<f64>)>>>> =
-            (0..size).map(|_| (0..size).map(|_| None).collect()).collect();
+        let mut txs: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(size);
+        let mut rxs: Vec<Vec<Option<Receiver<Msg>>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
         for s in 0..size {
             let mut row = Vec::with_capacity(size);
             for d in 0..size {
@@ -154,7 +158,9 @@ impl Communicator for ThreadComm {
         self.reduce(x, |slots| slots.iter().sum())
     }
     fn allreduce_max(&self, x: f64) -> f64 {
-        self.reduce(x, |slots| slots.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        self.reduce(x, |slots| {
+            slots.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        })
     }
     fn barrier(&self) {
         self.shared.barrier.wait();
@@ -220,7 +226,7 @@ mod tests {
             }
             total
         });
-        let expect: f64 = (0..100).map(|i| (0 + 1 + 2) as f64 * i as f64).sum();
+        let expect: f64 = (0..100).map(|i| 3.0 * f64::from(i)).sum();
         for t in out {
             assert_eq!(t, expect);
         }

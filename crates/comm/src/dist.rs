@@ -139,7 +139,11 @@ mod tests {
             pat.compress_add(comm, &mut v, n_local);
             // interior boundary entries got +1 from each adjacent rank
             let expect_first = if comm.rank() > 0 { 1.0 } else { 0.0 };
-            let expect_last = if comm.rank() + 1 < comm.size() { 1.0 } else { 0.0 };
+            let expect_last = if comm.rank() + 1 < comm.size() {
+                1.0
+            } else {
+                0.0
+            };
             assert_eq!(v[0], expect_first);
             assert_eq!(v[n_local - 1], expect_last);
             // ghosts zeroed

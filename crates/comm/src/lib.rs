@@ -12,6 +12,8 @@
 pub mod comm;
 pub mod dist;
 pub mod par;
+#[cfg(feature = "check-disjoint")]
+pub mod race;
 
 pub use comm::{Communicator, SelfComm, ThreadComm};
 pub use dist::{dist_dot, dist_norm, GhostPattern};

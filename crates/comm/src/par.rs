@@ -6,10 +6,30 @@
 //! cells executed by a pool of persistent threads (spawning threads per
 //! operator application would dominate the sub-millisecond kernel times the
 //! strong-scaling experiments target).
+//!
+//! Panic discipline: a panic in the loop body is caught on whichever thread
+//! it strikes, every task still gets drained, all workers still report
+//! completion, and the first panic is re-raised on the caller thread after
+//! the join barrier. The barrier is unconditional — the borrowed closure's
+//! lifetime is erased below, so `run` must never unwind past a worker that
+//! could still call it.
+//!
+//! With `--features check-disjoint`, every [`SharedMut`-style] write
+//! performed inside a run is recorded per thread and the join barrier
+//! asserts pairwise disjointness of the per-thread write sets (see
+//! [`crate::race`]): a purpose-built race detector for the conflict-colored
+//! assembly loops.
 
 use parking_lot::{Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+
+#[cfg(feature = "check-disjoint")]
+use crate::race;
+
+/// First panic payload of a run, re-raised on the caller thread.
+type PanicSlot = Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>;
 
 struct Job {
     /// Borrowed closure with its lifetime erased; validity is guaranteed
@@ -18,6 +38,9 @@ struct Job {
     n_tasks: usize,
     counter: Arc<AtomicUsize>,
     done: Arc<(Mutex<usize>, Condvar)>,
+    panic_slot: PanicSlot,
+    #[cfg(feature = "check-disjoint")]
+    recorder: Arc<race::RunRecorder>,
 }
 
 /// A persistent pool of worker threads executing indexed task batches.
@@ -35,12 +58,25 @@ impl ThreadPool {
             senders.push(tx);
             std::thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    loop {
+                    #[cfg(feature = "check-disjoint")]
+                    race::enter_run(&job.recorder);
+                    // Catch panics so a poisoned task can neither abort the
+                    // process from a worker nor leave `run` waiting forever
+                    // on the completion count.
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
                         let i = job.counter.fetch_add(1, Ordering::Relaxed);
                         if i >= job.n_tasks {
                             break;
                         }
                         (job.func)(i);
+                    }));
+                    #[cfg(feature = "check-disjoint")]
+                    race::exit_run();
+                    if let Err(payload) = result {
+                        let mut slot = job.panic_slot.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
                     }
                     let (lock, cv) = &*job.done;
                     let mut finished = lock.lock();
@@ -76,45 +112,75 @@ impl ThreadPool {
 
     /// Execute `f(task)` for every `task in 0..n_tasks`, distributing tasks
     /// dynamically over all threads. Blocks until every task has finished.
+    ///
+    /// If any task panics, the remaining tasks still run, every thread
+    /// joins, and the first panic is then re-raised on the caller thread.
     pub fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         if n_tasks == 0 {
             return;
         }
-        // Small runs: not worth waking the pool.
+        // Small runs: not worth waking the pool. Single-threaded, so no
+        // lifetime erasure and no disjointness question.
         if self.senders.is_empty() || n_tasks == 1 {
             for i in 0..n_tasks {
                 f(i);
             }
             return;
         }
-        // SAFETY: `run` does not return before every worker has finished
-        // using `func` (we wait on `done` below), so the borrow outlives
-        // all uses despite the erased lifetime.
+        // SAFETY: the erased borrow is only reachable through `Job`s owned
+        // by the worker loop, and `run` reaches the join barrier below on
+        // every path — including a panicking caller task, which is caught
+        // and only re-raised after all workers reported done — so no worker
+        // can observe `f` after `run` returns or unwinds.
         let func: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
         let counter = Arc::new(AtomicUsize::new(0));
         let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let panic_slot: PanicSlot = Arc::new(Mutex::new(None));
+        #[cfg(feature = "check-disjoint")]
+        let recorder = race::RunRecorder::new();
         for s in &self.senders {
             s.send(Job {
                 func,
                 n_tasks,
                 counter: counter.clone(),
                 done: done.clone(),
+                panic_slot: panic_slot.clone(),
+                #[cfg(feature = "check-disjoint")]
+                recorder: recorder.clone(),
             })
             .expect("worker thread died");
         }
         // caller participates
-        loop {
+        #[cfg(feature = "check-disjoint")]
+        race::enter_run(&recorder);
+        let caller_result = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
             let i = counter.fetch_add(1, Ordering::Relaxed);
             if i >= n_tasks {
                 break;
             }
             f(i);
+        }));
+        #[cfg(feature = "check-disjoint")]
+        race::exit_run();
+        // Unconditional join barrier (see SAFETY above).
+        {
+            let (lock, cv) = &*done;
+            let mut finished = lock.lock();
+            while *finished < self.senders.len() {
+                cv.wait(&mut finished);
+            }
         }
-        let (lock, cv) = &*done;
-        let mut finished = lock.lock();
-        while *finished < self.senders.len() {
-            cv.wait(&mut finished);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
         }
+        let worker_panic = panic_slot.lock().take();
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+        // Only a clean run is checked: after a panic the write logs are
+        // partial and the panic itself is the signal.
+        #[cfg(feature = "check-disjoint")]
+        recorder.check();
     }
 }
 
@@ -188,7 +254,7 @@ mod tests {
 
     #[test]
     fn parallel_sum_matches_serial() {
-        let v: Vec<f64> = (0..100_000).map(|i| (i % 97) as f64).collect();
+        let v: Vec<f64> = (0..100_000).map(|i| f64::from(i % 97)).collect();
         let total = AtomicU64::new(0);
         parallel_for_chunks(v.len(), 1024, |range| {
             let s: f64 = v[range].iter().sum();
@@ -196,5 +262,55 @@ mod tests {
         });
         let serial: f64 = v.iter().sum();
         assert_eq!(total.load(Ordering::Relaxed), serial as u64);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let pool = ThreadPool::new(3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                assert!(i != 17, "task 17 poisoned");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("task 17 poisoned"), "got: {msg}");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_run() {
+        let pool = ThreadPool::new(2);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, &|_| panic!("every task dies"));
+        }));
+        // all workers drained the poisoned job and accept new work
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn all_nonpanicking_tasks_still_run() {
+        let pool = ThreadPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                assert!(i != 5, "task 5 poisoned");
+            });
+        }));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "task {i} must run exactly once"
+            );
+        }
     }
 }

@@ -1,0 +1,165 @@
+//! Debug race detector for the conflict-colored parallel loops
+//! (`--features check-disjoint`).
+//!
+//! The cell/face assembly loops write through [`SharedMut`-style] raw
+//! pointers under a caller-checked invariant: concurrent writers touch
+//! disjoint index sets (cell loops write per-cell dof blocks; face loops
+//! are conflict-colored so no two faces of one color share a cell). Nothing
+//! in the type system enforces that invariant — it silently rots as
+//! operators grow. With this feature enabled, every recorded write during a
+//! [`ThreadPool::run`](crate::ThreadPool::run) is logged per thread, and
+//! the join barrier asserts pairwise disjointness of the per-thread write
+//! sets, turning a latent data race into a deterministic panic naming the
+//! clashing index.
+//!
+//! Writes are keyed `(base address, index)`, so distinct destination arrays
+//! never alias each other. Recording is per *pool run*: each participating
+//! thread buffers into a thread-local, flushed into the run's recorder when
+//! its share of the run ends; sequential fallbacks (empty pool, single
+//! task) record nothing because a single thread cannot race itself.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Write log of one `ThreadPool::run`, shared by all participating threads.
+#[derive(Default)]
+pub struct RunRecorder {
+    /// Flushed per-thread write sets: `(thread, [(base, idx)])`.
+    threads: Mutex<Vec<(ThreadId, Vec<(usize, usize)>)>>,
+}
+
+thread_local! {
+    /// The recorder of the run this thread is currently participating in,
+    /// plus its unflushed write buffer.
+    static CURRENT: RefCell<Option<(Arc<RunRecorder>, Vec<(usize, usize)>)>> =
+        const { RefCell::new(None) };
+}
+
+impl RunRecorder {
+    /// Fresh recorder for one pool run.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Assert pairwise disjointness of all flushed write sets. Called by
+    /// the run's caller thread after the join barrier; panics with the
+    /// clashing `(base, idx)` pairs on violation.
+    pub fn check(&self) {
+        let threads = self.threads.lock();
+        let mut owner: HashMap<(usize, usize), ThreadId> = HashMap::new();
+        let mut conflicts = Vec::new();
+        for (tid, writes) in threads.iter() {
+            for &key in writes {
+                match owner.insert(key, *tid) {
+                    Some(prev) if prev != *tid => conflicts.push((key, prev, *tid)),
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            conflicts.is_empty(),
+            "check-disjoint: overlapping parallel writes detected — the \
+             disjointness/coloring invariant of this assembly loop is broken:\n{}",
+            conflicts
+                .iter()
+                .take(16)
+                .map(|((base, idx), a, b)| format!(
+                    "  index {idx} of buffer @{base:#x} written by both {a:?} and {b:?}"
+                ))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// Begin recording on this thread for `recorder`'s run.
+pub fn enter_run(recorder: &Arc<RunRecorder>) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some((recorder.clone(), Vec::new()));
+    });
+}
+
+/// Stop recording on this thread and flush its buffer into the recorder.
+pub fn exit_run() {
+    CURRENT.with(|c| {
+        if let Some((recorder, buffer)) = c.borrow_mut().take() {
+            recorder
+                .threads
+                .lock()
+                .push((std::thread::current().id(), buffer));
+        }
+    });
+}
+
+/// Record a write of `idx` into the buffer starting at `base`. No-op
+/// outside a pool run (a single thread cannot race itself).
+pub fn record(base: usize, idx: usize) {
+    CURRENT.with(|c| {
+        if let Some((_, buffer)) = c.borrow_mut().as_mut() {
+            buffer.push((base, idx));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flush_writes(rec: &Arc<RunRecorder>, writes: &[(usize, usize)]) {
+        // simulate one worker's participation on a fresh thread so each
+        // write set carries a distinct ThreadId
+        let rec = rec.clone();
+        let writes = writes.to_vec();
+        std::thread::spawn(move || {
+            enter_run(&rec);
+            for (base, idx) in writes {
+                record(base, idx);
+            }
+            exit_run();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn disjoint_sets_pass() {
+        let rec = RunRecorder::new();
+        flush_writes(&rec, &[(0x1000, 0), (0x1000, 1)]);
+        flush_writes(&rec, &[(0x1000, 2), (0x1000, 3)]);
+        rec.check();
+    }
+
+    #[test]
+    fn same_index_different_buffers_pass() {
+        let rec = RunRecorder::new();
+        flush_writes(&rec, &[(0x1000, 7)]);
+        flush_writes(&rec, &[(0x2000, 7)]);
+        rec.check();
+    }
+
+    #[test]
+    fn same_thread_rewrites_pass() {
+        let rec = RunRecorder::new();
+        flush_writes(&rec, &[(0x1000, 7), (0x1000, 7)]);
+        rec.check();
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping parallel writes")]
+    fn overlap_panics() {
+        let rec = RunRecorder::new();
+        flush_writes(&rec, &[(0x1000, 0), (0x1000, 5)]);
+        flush_writes(&rec, &[(0x1000, 5)]);
+        rec.check();
+    }
+
+    #[test]
+    fn record_outside_run_is_ignored() {
+        record(0xdead, 1);
+        let rec = RunRecorder::new();
+        rec.check();
+    }
+}

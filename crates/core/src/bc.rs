@@ -47,7 +47,10 @@ impl FlowBcs {
 
     /// Pressure value of a boundary id (0 for walls).
     pub fn pressure(&self, id: u32) -> f64 {
-        self.pressure_values.get(id as usize).copied().unwrap_or(0.0)
+        self.pressure_values
+            .get(id as usize)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Set the pressure of one id.

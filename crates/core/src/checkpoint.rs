@@ -160,8 +160,8 @@ mod tests {
             dt: 1e-4,
             dt_old: 9e-5,
             step_count: 12345,
-            velocity: (0..100).map(|i| i as f64 * 0.1).collect(),
-            pressure: (0..40).map(|i| -(i as f64)).collect(),
+            velocity: (0..100).map(|i| f64::from(i) * 0.1).collect(),
+            pressure: (0..40).map(|i| -f64::from(i)).collect(),
             delta_p: 1200.0,
             compartment_volumes: vec![1e-4, 2e-4],
         };

@@ -14,11 +14,11 @@ pub mod ventilation;
 
 pub use bc::{BcKind, FlowBcs};
 pub use checkpoint::Checkpoint;
-pub use recorder::{RunRecorder, RunSummary, Sample};
 pub use field::{interpolate_velocity, velocity_l2_error, DIM};
 pub use operators::{
     boundary_flow_rate, convective_term, divergence, gradient, HelmholtzOperator, PenaltyOperator,
 };
+pub use recorder::{RunRecorder, RunSummary, Sample};
 pub use scalar::{advect_term, ScalarBc, ScalarTransport};
 pub use solver::{FlowParams, FlowSolver, StepInfo};
 pub use timeint::{BdfCoefficients, CflController};

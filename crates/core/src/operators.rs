@@ -64,8 +64,7 @@ pub fn convective_term<T: Real, const L: usize>(
                         uq[d][q] * uq[2][q],
                     ];
                     for c in 0..DIM {
-                        s.grad[c][q] =
-                            -(f[0] * m[c] + f[1] * m[3 + c] + f[2] * m[6 + c]) * jxw;
+                        s.grad[c][q] = -(f[0] * m[c] + f[1] * m[3 + c] + f[2] * m[6 + c]) * jxw;
                     }
                 }
                 integrate(mf, &mut s, false, true);
@@ -117,7 +116,13 @@ pub fn convective_term<T: Real, const L: usize>(
                 } else {
                     for d in 0..DIM {
                         gather_face_cells(
-                            &b.plus, b.n_filled, u, stride, d * dpc, dpc, &mut sp.dofs,
+                            &b.plus,
+                            b.n_filled,
+                            u,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &mut sp.dofs,
                         );
                         evaluate_face(mf, desc_p, false, &mut sp);
                         up[d].copy_from_slice(&sp.val);
@@ -146,7 +151,13 @@ pub fn convective_term<T: Real, const L: usize>(
                     sm.val.copy_from_slice(&flux[d]);
                     integrate_face(mf, desc_m, false, &mut sm);
                     scatter_add_face_cells(
-                        &b.minus, b.n_filled, &sm.dofs, stride, d * dpc, dpc, &out,
+                        &b.minus,
+                        b.n_filled,
+                        &sm.dofs,
+                        stride,
+                        d * dpc,
+                        dpc,
+                        &out,
                     );
                     if !cat.is_boundary {
                         for q in 0..nq2 {
@@ -154,7 +165,13 @@ pub fn convective_term<T: Real, const L: usize>(
                         }
                         integrate_face(mf, desc_p, false, &mut sp);
                         scatter_add_face_cells(
-                            &b.plus, b.n_filled, &sp.dofs, stride, d * dpc, dpc, &out,
+                            &b.plus,
+                            b.n_filled,
+                            &sp.dofs,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &out,
                         );
                     }
                 }
@@ -202,8 +219,8 @@ pub fn divergence<T: Real, const L: usize>(
                 let jxw = g.jxw[q];
                 let m = &g.jinvt[q * 9..q * 9 + 9];
                 for c in 0..DIM {
-                    sq.grad[c][q] = -(uq[0][q] * m[c] + uq[1][q] * m[3 + c] + uq[2][q] * m[6 + c])
-                        * jxw;
+                    sq.grad[c][q] =
+                        -(uq[0][q] * m[c] + uq[1][q] * m[3 + c] + uq[2][q] * m[6 + c]) * jxw;
                 }
             }
             integrate(mf_p, &mut sq, false, true);
@@ -230,7 +247,15 @@ pub fn divergence<T: Real, const L: usize>(
                 }
                 let half = T::from_f64(0.5);
                 for d in 0..DIM {
-                    gather_face_cells(&b.minus, b.n_filled, u, stride, d * dpc_u, dpc_u, &mut sm.dofs);
+                    gather_face_cells(
+                        &b.minus,
+                        b.n_filled,
+                        u,
+                        stride,
+                        d * dpc_u,
+                        dpc_u,
+                        &mut sm.dofs,
+                    );
                     evaluate_face(mf_u, desc_m, false, &mut sm);
                     if cat.is_boundary {
                         match bcs.kind(cat.boundary_id) {
@@ -242,7 +267,15 @@ pub fn divergence<T: Real, const L: usize>(
                             }
                         }
                     } else {
-                        gather_face_cells(&b.plus, b.n_filled, u, stride, d * dpc_u, dpc_u, &mut sp.dofs);
+                        gather_face_cells(
+                            &b.plus,
+                            b.n_filled,
+                            u,
+                            stride,
+                            d * dpc_u,
+                            dpc_u,
+                            &mut sp.dofs,
+                        );
                         evaluate_face(mf_u, desc_p, false, &mut sp);
                         for q in 0..nq2 {
                             un_avg[q] += (sm.val[q] + sp.val[q]) * half * g.normal[q * 3 + d];
@@ -360,12 +393,24 @@ pub fn gradient<T: Real, const L: usize>(
                     }
                     integrate_face(mf_u, desc_m, false, &mut su_m);
                     scatter_add_face_cells(
-                        &b.minus, b.n_filled, &su_m.dofs, stride, d * dpc_u, dpc_u, &out,
+                        &b.minus,
+                        b.n_filled,
+                        &su_m.dofs,
+                        stride,
+                        d * dpc_u,
+                        dpc_u,
+                        &out,
                     );
                     if !cat.is_boundary {
                         integrate_face(mf_u, desc_p, false, &mut su_p);
                         scatter_add_face_cells(
-                            &b.plus, b.n_filled, &su_p.dofs, stride, d * dpc_u, dpc_u, &out,
+                            &b.plus,
+                            b.n_filled,
+                            &su_p.dofs,
+                            stride,
+                            d * dpc_u,
+                            dpc_u,
+                            &out,
                         );
                     }
                 }
@@ -565,10 +610,26 @@ impl<'a, T: Real, const L: usize> LinearOperator<T> for PenaltyOperator<'a, T, L
                     let desc_m = FaceSideDesc::minus(b);
                     let desc_p = FaceSideDesc::plus(b);
                     for d in 0..DIM {
-                        gather_face_cells(&b.minus, b.n_filled, src, stride, d * dpc, dpc, &mut sm.dofs);
+                        gather_face_cells(
+                            &b.minus,
+                            b.n_filled,
+                            src,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &mut sm.dofs,
+                        );
                         evaluate_face(mf, desc_m, false, &mut sm);
                         um[d].copy_from_slice(&sm.val);
-                        gather_face_cells(&b.plus, b.n_filled, src, stride, d * dpc, dpc, &mut sp.dofs);
+                        gather_face_cells(
+                            &b.plus,
+                            b.n_filled,
+                            src,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &mut sp.dofs,
+                        );
                         evaluate_face(mf, desc_p, false, &mut sp);
                         up[d].copy_from_slice(&sp.val);
                     }
@@ -587,11 +648,23 @@ impl<'a, T: Real, const L: usize> LinearOperator<T> for PenaltyOperator<'a, T, L
                         }
                         integrate_face(mf, desc_m, false, &mut sm);
                         scatter_add_face_cells(
-                            &b.minus, b.n_filled, &sm.dofs, stride, d * dpc, dpc, &out,
+                            &b.minus,
+                            b.n_filled,
+                            &sm.dofs,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &out,
                         );
                         integrate_face(mf, desc_p, false, &mut sp);
                         scatter_add_face_cells(
-                            &b.plus, b.n_filled, &sp.dofs, stride, d * dpc, dpc, &out,
+                            &b.plus,
+                            b.n_filled,
+                            &sp.dofs,
+                            stride,
+                            d * dpc,
+                            dpc,
+                            &out,
                         );
                     }
                 }

@@ -8,7 +8,6 @@
 //! current velocity field and SIPG diffusion integrated implicitly —
 //! the same IMEX splitting as the momentum equation.
 
-
 use crate::field::DIM;
 use crate::operators::HelmholtzOperator;
 use crate::timeint::BdfCoefficients;
@@ -102,17 +101,34 @@ pub fn advect_term<const L: usize>(
                     *v = Simd::zero();
                 }
                 for d in 0..DIM {
-                    gather_face_cells(&b.minus, b.n_filled, u, stride_u, d * dpc, dpc, &mut sm.dofs);
+                    gather_face_cells(
+                        &b.minus,
+                        b.n_filled,
+                        u,
+                        stride_u,
+                        d * dpc,
+                        dpc,
+                        &mut sm.dofs,
+                    );
                     evaluate_face(mf, desc_m, false, &mut sm);
                     if cat.is_boundary {
                         for q in 0..nq2 {
                             un[q] += sm.val[q] * g.normal[q * 3 + d];
                         }
                     } else {
-                        gather_face_cells(&b.plus, b.n_filled, u, stride_u, d * dpc, dpc, &mut sp.dofs);
+                        gather_face_cells(
+                            &b.plus,
+                            b.n_filled,
+                            u,
+                            stride_u,
+                            d * dpc,
+                            dpc,
+                            &mut sp.dofs,
+                        );
                         evaluate_face(mf, desc_p, false, &mut sp);
                         for q in 0..nq2 {
-                            un[q] += (sm.val[q] + sp.val[q]) * Simd::splat(0.5) * g.normal[q * 3 + d];
+                            un[q] +=
+                                (sm.val[q] + sp.val[q]) * Simd::splat(0.5) * g.normal[q * 3 + d];
                         }
                     }
                 }
@@ -293,7 +309,11 @@ mod tests {
         let c0 = vec![0.7; mf.n_dofs()];
         let mut st = ScalarTransport::new(
             mf.clone(),
-            vec![ScalarBc::Outflow, ScalarBc::Dirichlet(0.7), ScalarBc::Outflow],
+            vec![
+                ScalarBc::Outflow,
+                ScalarBc::Dirichlet(0.7),
+                ScalarBc::Outflow,
+            ],
             1e-3,
             c0,
         );
@@ -344,7 +364,11 @@ mod tests {
         let c0 = vec![0.0; mf.n_dofs()];
         let mut st = ScalarTransport::new(
             mf.clone(),
-            vec![ScalarBc::Outflow, ScalarBc::Dirichlet(1.0), ScalarBc::Outflow],
+            vec![
+                ScalarBc::Outflow,
+                ScalarBc::Dirichlet(1.0),
+                ScalarBc::Outflow,
+            ],
             1e-4,
             c0,
         );
@@ -380,6 +404,10 @@ mod tests {
             }
         }
         let _ = g0;
-        assert!(upstream / n_up as f64 > 0.8, "{}", upstream / n_up as f64);
+        assert!(
+            upstream / f64::from(n_up) > 0.8,
+            "{}",
+            upstream / f64::from(n_up)
+        );
     }
 }

@@ -6,9 +6,7 @@
 
 use crate::bc::FlowBcs;
 use crate::field::{cell_velocity_scale, n_velocity_dofs, DIM};
-use crate::operators::{
-    convective_term, divergence, gradient, HelmholtzOperator, PenaltyOperator,
-};
+use crate::operators::{convective_term, divergence, gradient, HelmholtzOperator, PenaltyOperator};
 use crate::timeint::{BdfCoefficients, CflController};
 use dgflow_fem::{LaplaceOperator, MassOperator, MatrixFree, MfParams};
 use dgflow_mesh::{Forest, Manifold};
@@ -112,13 +110,11 @@ pub struct FlowSolver<const L: usize> {
 
 impl<const L: usize> FlowSolver<L> {
     /// Build all operators on the given mesh.
-    pub fn new(
-        forest: &Forest,
-        manifold: &dyn Manifold,
-        params: FlowParams,
-        bcs: FlowBcs,
-    ) -> Self {
-        assert!(params.degree >= 2, "velocity degree must be ≥ 2 (pressure k−1 ≥ 1)");
+    pub fn new(forest: &Forest, manifold: &dyn Manifold, params: FlowParams, bcs: FlowBcs) -> Self {
+        assert!(
+            params.degree >= 2,
+            "velocity degree must be ≥ 2 (pressure k−1 ≥ 1)"
+        );
         let mf_u = Arc::new(MatrixFree::<f64, L>::new(
             forest,
             manifold,
@@ -184,7 +180,9 @@ impl<const L: usize> FlowSolver<L> {
         self.velocity_old = self.velocity.clone();
         self.step_count = 0;
         let scale = cell_velocity_scale(&self.mf_u, &self.velocity);
-        self.dt = self.cfl.next_dt(&self.h_cell, &scale, self.params.dt_max * 1e6);
+        self.dt = self
+            .cfl
+            .next_dt(&self.h_cell, &scale, self.params.dt_max * 1e6);
         self.dt_old = self.dt;
     }
 

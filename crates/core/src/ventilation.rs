@@ -216,8 +216,8 @@ impl VentilationModel {
             self.tidal_history.push(vt);
             if vt > 1e-9 {
                 let f = (self.settings.tidal_volume / vt).clamp(0.5, 2.0);
-                self.settings.delta_p = (self.settings.delta_p * f)
-                    .clamp(1.0 * CMH2O, 60.0 * CMH2O);
+                self.settings.delta_p =
+                    (self.settings.delta_p * f).clamp(1.0 * CMH2O, 60.0 * CMH2O);
             }
             self.cycle_inhaled = 0.0;
             self.last_cycle = cycle;
@@ -232,12 +232,7 @@ impl VentilationModel {
         let p_trachea = p_vent - drop;
         bcs.set_pressure(INLET_ID, p_trachea / density);
         // compartments
-        for (i, (comp, &q)) in self
-            .compartments
-            .iter_mut()
-            .zip(outlet_flows)
-            .enumerate()
-        {
+        for (i, (comp, &q)) in self.compartments.iter_mut().zip(outlet_flows).enumerate() {
             comp.volume += q * dt;
             let p = comp.pressure(q);
             bcs.set_pressure(OUTLET_ID0 + i as u32, p / density);
@@ -340,7 +335,7 @@ mod tests {
         };
         // one full 10 Hz cycle: mean = PEEP, amplitude = Δp/2
         let samples: Vec<f64> = (0..100)
-            .map(|i| model.ventilator_pressure(i as f64 * 1e-3))
+            .map(|i| model.ventilator_pressure(f64::from(i) * 1e-3))
             .collect();
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let max = samples.iter().cloned().fold(f64::MIN, f64::max);

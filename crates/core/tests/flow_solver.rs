@@ -26,7 +26,7 @@ fn duct_flow_rate(g: f64, a: f64, nu: f64) -> f64 {
     let mut c = 1.0 / 12.0;
     let mut n = 1;
     while n <= 39 {
-        let npi = n as f64 * std::f64::consts::PI;
+        let npi = f64::from(n) * std::f64::consts::PI;
         c -= 16.0 / npi.powi(5) * (npi / 2.0).tanh();
         n += 2;
     }
@@ -162,7 +162,7 @@ fn ventilated_bifurcation_inhales() {
 /// energy monotonically — the robustness property of Fehn et al. the
 /// scheme is built on.
 #[test]
-fn unforced_flow_dissipates_kinetic_energy()  {
+fn unforced_flow_dissipates_kinetic_energy() {
     use dgflow_core::field::{interpolate_velocity, kinetic_energy};
     let mut f = dgflow_mesh::CoarseMesh::hyper_cube();
     f.boundary_ids.clear();
@@ -183,7 +183,11 @@ fn unforced_flow_dissipates_kinetic_energy()  {
         let (sx, cx) = (PI * x[0]).sin_cos();
         let (sy, cy) = (PI * x[1]).sin_cos();
         let sz = (PI * x[2]).sin();
-        [sx * cy * sz * 0.0 + sx.powi(2) * sy * cy * 0.5, -sx * cx * sy.powi(2) * 0.5, 0.0 * cx * sz]
+        [
+            sx * cy * sz * 0.0 + sx.powi(2) * sy * cy * 0.5,
+            -sx * cx * sy.powi(2) * 0.5,
+            0.0 * cx * sz,
+        ]
     };
     solver.set_velocity(interpolate_velocity(&solver.mf_u, &swirl));
     let mut ke_prev = kinetic_energy(&solver.mf_u, &solver.velocity);

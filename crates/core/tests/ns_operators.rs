@@ -182,7 +182,11 @@ fn helmholtz_solve_converges_at_rate_k_plus_1() {
     let solve = |refine: usize| -> f64 {
         let forest = cube(refine);
         let manifold = TrilinearManifold::from_forest(&forest);
-        let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+        let mf = Arc::new(MatrixFree::<f64, L>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(2),
+        ));
         let lap = LaplaceOperator::new(mf.clone());
         let weights = MassOperator::new(&mf).weights();
         let mut hh = HelmholtzOperator::new(lap, weights, nu);
@@ -229,5 +233,8 @@ fn penalty_operator_is_spd_and_mass_dominated() {
     pen.apply(&y, &mut ay);
     let xay: f64 = x.iter().zip(&ay).map(|(a, b)| a * b).sum();
     let yax: f64 = y.iter().zip(&ax).map(|(a, b)| a * b).sum();
-    assert!((xay - yax).abs() < 1e-9 * xay.abs().max(1.0), "{xay} vs {yax}");
+    assert!(
+        (xay - yax).abs() < 1e-9 * xay.abs().max(1.0),
+        "{xay} vs {yax}"
+    );
 }

@@ -125,7 +125,10 @@ pub fn batch_faces<const L: usize>(faces: &[FaceInfo]) -> Vec<FaceBatch<L>> {
 /// Greedy conflict-free coloring of face batches: two batches sharing a
 /// cell never get the same color, so face loops can run each color in
 /// parallel while scattering into the destination vector without atomics.
-pub fn color_face_batches<const L: usize>(batches: &[FaceBatch<L>], n_cells: usize) -> Vec<Vec<usize>> {
+pub fn color_face_batches<const L: usize>(
+    batches: &[FaceBatch<L>],
+    n_cells: usize,
+) -> Vec<Vec<usize>> {
     let mut color_of_cell: Vec<Vec<u32>> = vec![Vec::new(); n_cells]; // colors already touching cell
     let mut colors: Vec<Vec<usize>> = Vec::new();
     for (bi, b) in batches.iter().enumerate() {

@@ -89,9 +89,7 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
                         'search: for dx in -1i64..=1 {
                             for dy in -1i64..=1 {
                                 for dz in -1i64..=1 {
-                                    if let Some(&d) =
-                                        grid.get(&(k.0 + dx, k.1 + dy, k.2 + dz))
-                                    {
+                                    if let Some(&d) = grid.get(&(k.0 + dx, k.1 + dy, k.2 + dz)) {
                                         let q = positions[d as usize];
                                         let dist2 = (q[0] - p[0]).powi(2)
                                             + (q[1] - p[1]).powi(2)
@@ -137,7 +135,7 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
             let Some(sub) = f.subface else { continue };
             let plus = f.plus.expect("hanging faces are interior") as usize;
             let minus = f.minus as usize;
-            let (c1, c2) = ((sub & 1) as f64, ((sub >> 1) & 1) as f64);
+            let (c1, c2) = (f64::from(sub & 1), f64::from((sub >> 1) & 1));
             // orientation maps minus frame → plus frame; we need the inverse
             let inv = f.orientation.inverse();
             for b in 0..n1 {
@@ -299,6 +297,8 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
             let lo = self.row_ptr[cell * dpc + i] as usize;
             let hi = self.row_ptr[cell * dpc + i + 1] as usize;
             for &(d, w) in &self.entries[lo..hi] {
+                // SAFETY: `d` is a valid global dof (built alongside dst's
+                // sizing); exclusivity is the caller's contract above.
                 unsafe { *dst.at(d as usize) += w * vals[i] };
             }
         }
@@ -324,7 +324,10 @@ pub struct CgLaplaceOperator<T: Real, const L: usize> {
 impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
     /// All-Dirichlet boundary.
     pub fn new(space: Arc<CgSpace<T, L>>) -> Self {
-        Self { space, bc: Vec::new() }
+        Self {
+            space,
+            bc: Vec::new(),
+        }
     }
 
     /// Explicit boundary conditions.
@@ -367,6 +370,8 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
             for i in 0..dpc {
                 local[i] = vals[i][l];
             }
+            // SAFETY: callers iterate one cell color at a time, so batches
+            // scattered concurrently target dof-disjoint cells.
             unsafe { space.scatter_add(b.cells[l] as usize, &local, dst) };
         }
     }
@@ -432,6 +437,8 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
                 for i in 0..dpc {
                     local[i] = sm.dofs[i][l];
                 }
+                // SAFETY: the boundary-face loop runs one face color at a
+                // time, so concurrent scatters hit dof-disjoint cells.
                 unsafe { space.scatter_add(b.minus[l] as usize, &local, &dst) };
             }
         }
@@ -467,8 +474,8 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
                     let m = &g.jinvt[q * 9..q * 9 + 9];
                     let mut t = [Simd::<T, L>::zero(); 3];
                     for r in 0..3 {
-                        t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
-                            * jxw;
+                        t[r] =
+                            (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2]) * jxw;
                     }
                     for c in 0..3 {
                         s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
@@ -581,8 +588,8 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
                     let m = &g.jinvt[q * 9..q * 9 + 9];
                     let mut t = [Simd::<T, L>::zero(); 3];
                     for r in 0..3 {
-                        t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
-                            * jxw;
+                        t[r] =
+                            (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2]) * jxw;
                     }
                     for c in 0..3 {
                         s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
@@ -671,9 +678,7 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
                         let m = &g.jinvt[q * 9..q * 9 + 9];
                         let mut t = [Simd::<T, L>::zero(); 3];
                         for r in 0..3 {
-                            t[r] = (gr[0] * m[3 * r]
-                                + gr[1] * m[3 * r + 1]
-                                + gr[2] * m[3 * r + 2])
+                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
                                 * jxw;
                         }
                         for c in 0..3 {
@@ -718,6 +723,8 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
                 for i in 0..mf.dofs_per_cell {
                     local[i] = sm.dofs[i][l];
                 }
+                // SAFETY: face batches within one color have dof-disjoint
+                // minus cells; colors are processed sequentially.
                 unsafe { space.scatter_add(fb.minus[l] as usize, &local, &out) };
             }
         }

@@ -80,8 +80,7 @@ pub fn build_partitions<T: Real, const L: usize>(
         lo..hi
     };
     // ghost sets: cells referenced by a rank's compute but owned elsewhere
-    let mut ghosts: Vec<std::collections::BTreeSet<usize>> =
-        vec![Default::default(); n_ranks];
+    let mut ghosts: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n_ranks];
     // (a) straddling cell batches: lanes outside the own range
     for b in &mf.cell_batches {
         let ranks_in_batch: std::collections::BTreeSet<usize> = (0..b.n_filled)
@@ -215,7 +214,7 @@ pub fn apply_distributed<T: Real, const L: usize>(
     part: &Partition,
     mf: &MatrixFree<T, L>,
     bc: &[BoundaryCondition],
-    src: &mut Vec<f64>,
+    src: &mut [f64],
     dst: &mut Vec<f64>,
 ) {
     let dpc = mf.dofs_per_cell;
@@ -356,7 +355,11 @@ mod tests {
     /// Gather a distributed result back to a global vector.
     fn run_distributed(forest: &Forest, n_ranks: usize, x_global: &[f64]) -> Vec<f64> {
         let manifold = TrilinearManifold::from_forest(forest);
-        let mf = Arc::new(MatrixFree::<f64, 4>::new(forest, &manifold, MfParams::dg(2)));
+        let mf = Arc::new(MatrixFree::<f64, 4>::new(
+            forest,
+            &manifold,
+            MfParams::dg(2),
+        ));
         let parts = build_partitions(forest, &mf, n_ranks);
         let dpc = mf.dofs_per_cell;
         let bc = vec![BoundaryCondition::Dirichlet];
@@ -383,10 +386,16 @@ mod tests {
     fn distributed_apply_matches_serial_for_any_rank_count() {
         let forest = hanging_forest();
         let manifold = TrilinearManifold::from_forest(&forest);
-        let mf = Arc::new(MatrixFree::<f64, 4>::new(&forest, &manifold, MfParams::dg(2)));
+        let mf = Arc::new(MatrixFree::<f64, 4>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(2),
+        ));
         let op = LaplaceOperator::new(mf.clone());
         let n = mf.n_dofs();
-        let x: Vec<f64> = (0..n).map(|i| ((i * 131) % 101) as f64 / 101.0 - 0.5).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 131) % 101) as f64 / 101.0 - 0.5)
+            .collect();
         let mut serial = vec![0.0; n];
         op.apply(&x, &mut serial);
         let scale = serial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -407,7 +416,11 @@ mod tests {
     fn distributed_cg_poisson_is_rank_invariant() {
         let forest = hanging_forest();
         let manifold = TrilinearManifold::from_forest(&forest);
-        let mf = Arc::new(MatrixFree::<f64, 4>::new(&forest, &manifold, MfParams::dg(2)));
+        let mf = Arc::new(MatrixFree::<f64, 4>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(2),
+        ));
         let dpc = mf.dofs_per_cell;
         let op = LaplaceOperator::new(mf.clone());
         let rhs = crate::operators::integrate_rhs(&mf, &|x| (x[0] * 3.0).sin() + x[1]);

@@ -98,7 +98,14 @@ pub fn evaluate_values<T: Real, const L: usize>(mf: &MatrixFree<T, L>, s: &mut C
         s.quad.copy_from_slice(&s.dofs);
         return;
     }
-    apply_1d(&mf.shape.values, &s.dofs, &mut s.tmp[..nq * n * n], [n, n, n], 0, false);
+    apply_1d(
+        &mf.shape.values,
+        &s.dofs,
+        &mut s.tmp[..nq * n * n],
+        [n, n, n],
+        0,
+        false,
+    );
     apply_1d(
         &mf.shape.values,
         &s.tmp[..nq * n * n],
@@ -292,7 +299,13 @@ pub fn evaluate_face<T: Real, const L: usize>(
     let sd = f % 2;
     let (t1, t2) = tangential(d);
     // trace of values and (optionally) of the normal-direction derivative
-    contract_dir(&mf.shape.face_values[sd], &s.dofs, &mut s.nodal2d, [n, n, n], d);
+    contract_dir(
+        &mf.shape.face_values[sd],
+        &s.dofs,
+        &mut s.nodal2d,
+        [n, n, n],
+        d,
+    );
     if with_grad {
         contract_dir(
             &mf.shape.face_gradients[sd],
@@ -435,7 +448,13 @@ pub fn integrate_face<T: Real, const L: usize>(
     for v in s.dofs.iter_mut() {
         *v = Simd::zero();
     }
-    expand_dir(&mf.shape.face_values[sd], &s.nodal2d, &mut s.dofs, [n, n, n], d);
+    expand_dir(
+        &mf.shape.face_values[sd],
+        &s.nodal2d,
+        &mut s.dofs,
+        [n, n, n],
+        d,
+    );
     if with_grad {
         expand_dir(
             &mf.shape.face_gradients[sd],

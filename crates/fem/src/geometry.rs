@@ -137,7 +137,11 @@ impl Mapping {
                     for e in 0..3 {
                         let mut w = 1.0;
                         for d in 0..3 {
-                            w *= if d == e { vg[d].1[idx[d]] } else { vg[d].0[idx[d]] };
+                            w *= if d == e {
+                                vg[d].1[idx[d]]
+                            } else {
+                                vg[d].0[idx[d]]
+                            };
                         }
                         for d in 0..3 {
                             jac[d][e] += w * pt[d];

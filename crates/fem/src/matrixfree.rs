@@ -140,8 +140,8 @@ impl<T: Real, const L: usize> MatrixFree<T, L> {
                             let w = quad_w[q0] * quad_w[q1] * quad_w[q2];
                             jxw[q][l] = T::from_f64(det * w);
                             cell_volumes[cell] += det * w;
-                            let pos = mapping
-                                .position_with(cell, [&map_v[q0], &map_v[q1], &map_v[q2]]);
+                            let pos =
+                                mapping.position_with(cell, [&map_v[q0], &map_v[q1], &map_v[q2]]);
                             for d in 0..3 {
                                 positions[q * 3 + d][l] = T::from_f64(pos[d]);
                             }
@@ -167,7 +167,7 @@ impl<T: Real, const L: usize> MatrixFree<T, L> {
             let (t1m, t2m) = tangential(dm);
             let sub = cat.subface();
             let (c1, c2) = match sub {
-                Some(c) => ((c & 1) as f64, ((c >> 1) & 1) as f64),
+                Some(c) => (f64::from(c & 1), f64::from((c >> 1) & 1)),
                 None => (0.0, 0.0),
             };
             let sub_scale = if sub.is_some() { 0.5 } else { 1.0 };

@@ -223,8 +223,7 @@ impl<T: Real, const L: usize> LaplaceOperator<T, L> {
                         let m = &g.jinvt[q * 9..q * 9 + 9];
                         let mut t = [Simd::<T, L>::zero(); 3];
                         for r in 0..3 {
-                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1]
-                                + gr[2] * m[3 * r + 2])
+                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
                                 * jxw;
                         }
                         for c in 0..3 {
@@ -247,70 +246,71 @@ impl<T: Real, const L: usize> LaplaceOperator<T, L> {
         let nq2 = mf.n_q() * mf.n_q();
         for color in &mf.face_colors {
             dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
-            let mut s = FaceScratch::<T, L>::new(mf);
-            for k in range {
-                let bi = color[k];
-                let b = &mf.face_batches[bi];
-                let cat = b.category;
-                if cat.is_boundary && self.bc_of(cat.boundary_id) == BoundaryCondition::Neumann {
-                    continue;
-                }
-                let g = &mf.face_geometry[bi];
-                let half = T::from_f64(0.5);
-                for (side_idx, (cells, desc)) in [
-                    (&b.minus, FaceSideDesc::minus(b)),
-                    (&b.plus, FaceSideDesc::plus(b)),
-                ]
-                .into_iter()
-                .enumerate()
-                {
-                    if cat.is_boundary && side_idx == 1 {
-                        break;
+                let mut s = FaceScratch::<T, L>::new(mf);
+                for k in range {
+                    let bi = color[k];
+                    let b = &mf.face_batches[bi];
+                    let cat = b.category;
+                    if cat.is_boundary && self.bc_of(cat.boundary_id) == BoundaryCondition::Neumann
+                    {
+                        continue;
                     }
-                    let gvec = if side_idx == 0 { &g.g_minus } else { &g.g_plus };
-                    // jump sign: [[u]] = u- - u+
-                    let jsign = if side_idx == 0 { T::ONE } else { -T::ONE };
-                    for i in 0..dpc {
-                        for v in s.dofs.iter_mut() {
-                            *v = Simd::zero();
+                    let g = &mf.face_geometry[bi];
+                    let half = T::from_f64(0.5);
+                    for (side_idx, (cells, desc)) in [
+                        (&b.minus, FaceSideDesc::minus(b)),
+                        (&b.plus, FaceSideDesc::plus(b)),
+                    ]
+                    .into_iter()
+                    .enumerate()
+                    {
+                        if cat.is_boundary && side_idx == 1 {
+                            break;
                         }
-                        s.dofs[i] = Simd::splat(T::ONE);
-                        evaluate_face(mf, desc, true, &mut s);
-                        for q in 0..nq2 {
-                            let u = s.val[q];
-                            let dn = s.grad[0][q] * gvec[q * 3]
-                                + s.grad[1][q] * gvec[q * 3 + 1]
-                                + s.grad[2][q] * gvec[q * 3 + 2];
-                            let jxw = g.jxw[q];
-                            let (vflux, gsc) = if cat.is_boundary {
-                                ((u * g.sigma * T::from_f64(2.0) - dn) * jxw, -(u * jxw))
-                            } else {
-                                // own-side only: other side's trace is 0
-                                let jump = u * jsign;
-                                let vflux = (jump * g.sigma - dn * half) * jxw * jsign;
-                                let gsc = -(jump * half * jxw);
-                                (vflux, gsc)
-                            };
-                            s.val[q] = vflux;
-                            for d in 0..3 {
-                                s.grad[d][q] = gvec[q * 3 + d] * gsc;
+                        let gvec = if side_idx == 0 { &g.g_minus } else { &g.g_plus };
+                        // jump sign: [[u]] = u- - u+
+                        let jsign = if side_idx == 0 { T::ONE } else { -T::ONE };
+                        for i in 0..dpc {
+                            for v in s.dofs.iter_mut() {
+                                *v = Simd::zero();
                             }
-                        }
-                        integrate_face(mf, desc, true, &mut s);
-                        for l in 0..b.n_filled {
-                            if cells[l] == u32::MAX {
-                                continue;
+                            s.dofs[i] = Simd::splat(T::ONE);
+                            evaluate_face(mf, desc, true, &mut s);
+                            for q in 0..nq2 {
+                                let u = s.val[q];
+                                let dn = s.grad[0][q] * gvec[q * 3]
+                                    + s.grad[1][q] * gvec[q * 3 + 1]
+                                    + s.grad[2][q] * gvec[q * 3 + 2];
+                                let jxw = g.jxw[q];
+                                let (vflux, gsc) = if cat.is_boundary {
+                                    ((u * g.sigma * T::from_f64(2.0) - dn) * jxw, -(u * jxw))
+                                } else {
+                                    // own-side only: other side's trace is 0
+                                    let jump = u * jsign;
+                                    let vflux = (jump * g.sigma - dn * half) * jxw * jsign;
+                                    let gsc = -(jump * half * jxw);
+                                    (vflux, gsc)
+                                };
+                                s.val[q] = vflux;
+                                for d in 0..3 {
+                                    s.grad[d][q] = gvec[q * 3 + d] * gsc;
+                                }
                             }
-                            let idx = dpc * cells[l] as usize + i;
-                            let v = s.dofs[i][l];
-                            // SAFETY: batches within a color share no cells
-                            unsafe {
-                                *dst.at(idx) += v;
+                            integrate_face(mf, desc, true, &mut s);
+                            for l in 0..b.n_filled {
+                                if cells[l] == u32::MAX {
+                                    continue;
+                                }
+                                let idx = dpc * cells[l] as usize + i;
+                                let v = s.dofs[i][l];
+                                // SAFETY: batches within a color share no cells
+                                unsafe {
+                                    *dst.at(idx) += v;
+                                }
                             }
                         }
                     }
                 }
-            }
             });
         }
         diag

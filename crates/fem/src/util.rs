@@ -1,38 +1,89 @@
 //! Small utilities for the parallel loops.
 
-/// A raw mutable pointer that may be shared across the threads of a
+/// A raw slice handle that may be shared across the threads of a
 /// `parallel_for`, under the caller-checked invariant that concurrent
 /// writers touch disjoint index sets (cell loops write per-cell blocks;
 /// face loops are conflict-colored).
+///
+/// The handle carries the slice length: every access is bounds-checked in
+/// debug builds, so an out-of-range index panics instead of corrupting
+/// memory. With `--features check-disjoint`, each write is additionally
+/// recorded into the owning pool run's per-thread write log and the join
+/// barrier asserts pairwise disjointness — see `dgflow_comm::race`. Release
+/// builds without the feature compile both checks away.
 #[derive(Clone, Copy)]
-pub struct SharedMut<T>(*mut T);
+pub struct SharedMut<T> {
+    ptr: *mut T,
+    len: usize,
+}
 
+// SAFETY: SharedMut is a shared write handle by design; it is only ever
+// dereferenced inside `unsafe` calls whose contract demands in-bounds,
+// non-overlapping access, so sending the raw pointer between the pool
+// threads is sound whenever T itself may move between threads.
 unsafe impl<T: Send> Send for SharedMut<T> {}
+// SAFETY: as above — &SharedMut only permits writes through the documented
+// disjointness contract, never unsynchronized shared reads of the same slot.
 unsafe impl<T: Send> Sync for SharedMut<T> {}
 
 impl<T> SharedMut<T> {
     /// Wrap a slice for disjoint parallel writes.
     pub fn new(slice: &mut [T]) -> Self {
-        Self(slice.as_mut_ptr())
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Length of the wrapped slice.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline(always)]
+    fn check(&self, idx: usize) {
+        debug_assert!(
+            idx < self.len,
+            "SharedMut: index {idx} out of bounds (len {})",
+            self.len
+        );
+        #[cfg(feature = "check-disjoint")]
+        dgflow_comm::race::record(self.ptr as usize, idx);
     }
 
     /// Write `value` at `idx`.
     ///
     /// # Safety
-    /// `idx` must be in bounds and not concurrently accessed.
+    /// `idx` must be in bounds and not concurrently accessed by any other
+    /// thread for the duration of the surrounding pool run.
     #[inline(always)]
     pub unsafe fn write(&self, idx: usize, value: T) {
-        unsafe { *self.0.add(idx) = value }
+        self.check(idx);
+        // SAFETY: `idx < len` (debug-asserted above, contractual in
+        // release) and the caller guarantees exclusive access to this slot.
+        unsafe { *self.ptr.add(idx) = value }
     }
 
     /// Get a mutable reference at `idx`.
     ///
     /// # Safety
-    /// `idx` must be in bounds and not concurrently accessed.
+    /// `idx` must be in bounds and not concurrently accessed by any other
+    /// thread; the returned borrow must end before any other access to the
+    /// same slot.
     #[inline(always)]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn at(&self, idx: usize) -> &mut T {
-        unsafe { &mut *self.0.add(idx) }
+        self.check(idx);
+        // SAFETY: in-bounds per above; exclusivity of the borrow is the
+        // caller's contract (disjoint index sets across threads).
+        unsafe { &mut *self.ptr.add(idx) }
     }
 }
 
@@ -46,9 +97,90 @@ mod tests {
         let p = SharedMut::new(&mut v);
         dgflow_comm::parallel_for_chunks(1000, 16, |range| {
             for i in range {
+                // SAFETY: chunks partition 0..1000, so writes are disjoint
                 unsafe { p.write(i, i * 2) };
             }
         });
         assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    /// The aliasing pattern `scatter_add` relies on: repeated short-lived
+    /// `&mut` borrows of the same destination slots from one thread, with
+    /// reads of the surrounding slice in between. Exercised single-threaded
+    /// so miri can validate the borrow discipline exactly.
+    #[test]
+    fn scatter_add_style_accumulation_is_miri_clean() {
+        let mut dst = vec![0.0f64; 8];
+        let p = SharedMut::new(&mut dst);
+        // constrained dof 7 receives contributions from every "cell", like
+        // a hanging-node master accumulating from several slaves
+        for cell in 0..4 {
+            for i in 0..2 {
+                // SAFETY: single-threaded; each borrow ends at the statement
+                unsafe { *p.at(2 * cell + i) += 1.0 };
+                // SAFETY: as above — overlapping target, sequential access
+                unsafe { *p.at(7) += 0.25 };
+            }
+        }
+        assert_eq!(dst[7], 0.25 * 8.0 + 1.0);
+        assert!(dst[..6].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn len_is_carried() {
+        let mut v = vec![0u32; 17];
+        let p = SharedMut::new(&mut v);
+        assert_eq!(p.len(), 17);
+        assert!(!p.is_empty());
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(SharedMut::new(&mut empty).is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn debug_bounds_check_fires() {
+        let mut v = vec![0u8; 4];
+        let p = SharedMut::new(&mut v);
+        // SAFETY: deliberately out of bounds to observe the debug assert;
+        // the write is never reached
+        unsafe { p.write(4, 1) };
+    }
+
+    /// The race the `check-disjoint` feature exists to catch: two pool
+    /// threads write the same index. A `Barrier` forces both threads to
+    /// take one task each, so the overlap is cross-thread deterministically.
+    #[test]
+    #[cfg(feature = "check-disjoint")]
+    #[should_panic(expected = "overlapping parallel writes")]
+    fn overlapping_writes_panic_deterministically() {
+        let pool = dgflow_comm::ThreadPool::new(1); // worker + caller
+        let mut v = vec![0usize; 64];
+        let p = SharedMut::new(&mut v);
+        let rendezvous = std::sync::Barrier::new(2);
+        pool.run(2, &|task| {
+            rendezvous.wait(); // both tasks now on distinct threads
+                               // SAFETY: in bounds; the deliberate cross-thread overlap on
+                               // index 0 is the behavior under test
+            unsafe { p.write(0, task + 1) };
+        });
+    }
+
+    /// Same loop shape as above but disjoint targets: the detector must
+    /// stay silent on a correctly colored loop.
+    #[test]
+    #[cfg(feature = "check-disjoint")]
+    fn disjoint_writes_pass_under_detector() {
+        let pool = dgflow_comm::ThreadPool::new(1);
+        let mut v = vec![0usize; 64];
+        let p = SharedMut::new(&mut v);
+        let rendezvous = std::sync::Barrier::new(2);
+        pool.run(2, &|task| {
+            rendezvous.wait();
+            for i in 0..32 {
+                // SAFETY: task 0 writes 0..32, task 1 writes 32..64
+                unsafe { p.write(32 * task + i, task) };
+            }
+        });
     }
 }

@@ -127,7 +127,10 @@ mod tests {
         let mut buf = Vec::new();
         write_vtk(
             &mf,
-            &[VtkField::Scalar("pressure", &p), VtkField::Vector("velocity", &u)],
+            &[
+                VtkField::Scalar("pressure", &p),
+                VtkField::Vector("velocity", &u),
+            ],
             &mut buf,
         )
         .unwrap();

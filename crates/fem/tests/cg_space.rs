@@ -168,10 +168,10 @@ fn solve_cg_poisson(forest: &Forest, degree: usize) -> f64 {
                         let local = i0 + n1 * (i1 + n1 * i2);
                         let lo = space.row_ptr[cell * dpc + local] as usize;
                         let hi = space.row_ptr[cell * dpc + local + 1] as usize;
-                        let p = space.mf.mapping.position(
-                            cell,
-                            [gll.points[i0], gll.points[i1], gll.points[i2]],
-                        );
+                        let p = space
+                            .mf
+                            .mapping
+                            .position(cell, [gll.points[i0], gll.points[i1], gll.points[i2]]);
                         let w = gll.weights[i0] * gll.weights[i1] * gll.weights[i2] * h * h * h;
                         for &(d, wc) in &space.entries[lo..hi] {
                             rhs[d as usize] += wc * f(p) * w;

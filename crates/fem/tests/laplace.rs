@@ -37,7 +37,7 @@ fn rotated_forest() -> Forest {
     for k in 0..2 {
         for j in 0..2 {
             for i in 0..3 {
-                vertices.push([i as f64, j as f64, k as f64]);
+                vertices.push([f64::from(i), f64::from(j), f64::from(k)]);
             }
         }
     }
@@ -149,8 +149,12 @@ fn operator_is_symmetric() {
         let mf = build(&forest, 3);
         let lap = LaplaceOperator::new(mf.clone());
         let n = mf.n_dofs();
-        let x: Vec<f64> = (0..n).map(|i| ((i * 131 % 97) as f64) / 97.0 - 0.5).collect();
-        let y: Vec<f64> = (0..n).map(|i| ((i * 37 % 89) as f64) / 89.0 - 0.3).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 131 % 97) as f64) / 97.0 - 0.5)
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 89) as f64) / 89.0 - 0.3)
+            .collect();
         let mut lx = vec![0.0; n];
         let mut ly = vec![0.0; n];
         lap.apply(&x, &mut lx);

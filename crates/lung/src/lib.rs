@@ -65,7 +65,10 @@ mod tests {
         // each branch tube of n_ax layers has 12*(n_ax-1) internal
         // cross-section faces at minimum; the junction faces add more
         let cells = mesh.n_cells();
-        assert!(n_interior > cells, "{n_interior} interior faces for {cells} cells");
+        assert!(
+            n_interior > cells,
+            "{n_interior} interior faces for {cells} cells"
+        );
         // exactly one inlet (12 faces) and 12 faces per outlet
         let inlet = faces
             .iter()
@@ -113,7 +116,10 @@ mod tests {
             .iter()
             .map(|b| std::f64::consts::PI * (b.diameter / 2.0).powi(2) * b.length)
             .sum();
-        assert!(vol > 0.2 * analytic && vol < 3.0 * analytic, "{vol} vs {analytic}");
+        assert!(
+            vol > 0.2 * analytic && vol < 3.0 * analytic,
+            "{vol} vs {analytic}"
+        );
     }
 
     #[test]

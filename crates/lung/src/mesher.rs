@@ -304,7 +304,10 @@ fn cross_position(c: [f64; 3], f: &Frame, w: f64, i: usize, j: usize) -> [f64; 3
     let u = cross_param(i, NI);
     let v = cross_param(j, NJ);
     let (x, y) = squircle(u, v);
-    add3(c, add3(scale3(0.5 * w * x, f.e1), scale3(0.5 * w * y, f.e2)))
+    add3(
+        c,
+        add3(scale3(0.5 * w * x, f.e1), scale3(0.5 * w * y, f.e2)),
+    )
 }
 
 fn axial_layers(branch: &Branch, params: &MeshParams) -> usize {
@@ -352,7 +355,10 @@ fn mesh_major(
     parent: &TubeMesh,
 ) -> TubeMesh {
     let f0 = parent.tip_frame;
-    let theta = dot3(parent_branch.dir, branch.dir).clamp(-1.0, 1.0).acos().min(0.6);
+    let theta = dot3(parent_branch.dir, branch.dir)
+        .clamp(-1.0, 1.0)
+        .acos()
+        .min(0.6);
     let side_m = mesh_side_vector(&f0, parent_branch.tap_side);
     let dir_mesh = normalize3(add3(
         scale3(theta.cos(), f0.axis),
@@ -376,14 +382,8 @@ fn mesh_major(
             for (i, node) in row.iter_mut().enumerate() {
                 // blend between the extruded inlet shape and the formula
                 let p_formula = cross_position(c, &f1, w, i, j);
-                let p_extrude = add3(
-                    b.vertices[inlet[j][i] as usize],
-                    scale3(s, dir_mesh),
-                );
-                let p = add3(
-                    scale3(1.0 - beta, p_extrude),
-                    scale3(beta, p_formula),
-                );
+                let p_extrude = add3(b.vertices[inlet[j][i] as usize], scale3(s, dir_mesh));
+                let p = add3(scale3(1.0 - beta, p_extrude), scale3(beta, p_formula));
                 *node = b.new_vertex(p);
             }
         }
@@ -483,7 +483,10 @@ fn mesh_minor(
     };
     // recompute the take-off direction in the mesh frame: keep only the
     // tree's angle from the parent axis
-    let phi = dot3(parent_branch.dir, branch.dir).clamp(-1.0, 1.0).acos().clamp(0.5, 1.2);
+    let phi = dot3(parent_branch.dir, branch.dir)
+        .clamp(-1.0, 1.0)
+        .acos()
+        .clamp(0.5, 1.2);
     let dir_mesh = normalize3(add3(
         scale3(phi.cos(), pf.axis),
         scale3(phi.sin(), normalize3(outward)),
@@ -503,10 +506,7 @@ fn mesh_minor(
         for (j, row) in layer.iter_mut().enumerate() {
             for (i, node) in row.iter_mut().enumerate() {
                 let p_formula = cross_position(c, &f1, branch.diameter, i, j);
-                let p_extrude = add3(
-                    b.vertices[inlet[j][i] as usize],
-                    scale3(s, f0.axis),
-                );
+                let p_extrude = add3(b.vertices[inlet[j][i] as usize], scale3(s, f0.axis));
                 let p = add3(scale3(1.0 - beta, p_extrude), scale3(beta, p_formula));
                 *node = b.new_vertex(p);
             }

@@ -101,7 +101,7 @@ pub fn analyze(tree: &AirwayTree) -> Morphometry {
         strahler,
         mean_diameter_per_generation: mean_d,
         count_per_generation: count,
-        mean_diameter_ratio: ratio_sum / ratio_n.max(1) as f64,
+        mean_diameter_ratio: ratio_sum / f64::from(ratio_n.max(1)),
         mean_length_over_diameter: lod_sum / n as f64,
         branching_ratio,
     }
@@ -126,7 +126,11 @@ mod tests {
             assert_eq!(m.strahler[i], expect, "branch {i}");
         }
         // complete binary tree: branching ratio = 2
-        assert!((m.branching_ratio - 2.0).abs() < 0.05, "{}", m.branching_ratio);
+        assert!(
+            (m.branching_ratio - 2.0).abs() < 0.05,
+            "{}",
+            m.branching_ratio
+        );
     }
 
     #[test]

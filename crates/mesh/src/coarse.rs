@@ -211,7 +211,7 @@ mod tests {
         for k in 0..2 {
             for j in 0..2 {
                 for i in 0..3 {
-                    vertices.push([i as f64, j as f64, k as f64]);
+                    vertices.push([f64::from(i), f64::from(j), f64::from(k)]);
                 }
             }
         }

@@ -45,14 +45,14 @@ impl ActiveCell {
     /// Reference-coordinate bounds within the owning coarse cell:
     /// low corner and edge length in `[0,1]` units.
     pub fn ref_bounds(&self) -> ([f64; 3], f64) {
-        let inv = 1.0 / TREE_EXTENT as f64;
+        let inv = 1.0 / f64::from(TREE_EXTENT);
         (
             [
-                self.anchor[0] as f64 * inv,
-                self.anchor[1] as f64 * inv,
-                self.anchor[2] as f64 * inv,
+                f64::from(self.anchor[0]) * inv,
+                f64::from(self.anchor[1]) * inv,
+                f64::from(self.anchor[2]) * inv,
             ],
-            self.size() as f64 * inv,
+            f64::from(self.size()) * inv,
         )
     }
 }
@@ -575,8 +575,8 @@ mod tests {
         let faces = f.build_faces();
         for face in &faces {
             if let Some(p) = face.plus {
-                let lm = f.active_cell(face.minus as usize).level as i32;
-                let lp = f.active_cell(p as usize).level as i32;
+                let lm = i32::from(f.active_cell(face.minus as usize).level);
+                let lp = i32::from(f.active_cell(p as usize).level);
                 assert!((lm - lp).abs() <= 1);
                 if face.subface.is_some() {
                     assert_eq!(lp, lm + 1);

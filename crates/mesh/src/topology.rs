@@ -96,7 +96,7 @@ impl FaceOrientation {
 
     /// Compact code 0..8 (identity = 0).
     pub fn code(self) -> u8 {
-        (self.swap as u8) * 4 + (self.rev1 as u8) * 2 + (self.rev2 as u8)
+        u8::from(self.swap) * 4 + u8::from(self.rev1) * 2 + u8::from(self.rev2)
     }
 
     /// Inverse of [`FaceOrientation::code`].
@@ -282,13 +282,19 @@ mod tests {
             // compare against mapping the low corner / extent via unit map:
             // the image of the square [a, a+size] x [b, b+size]
             let corners = [
-                o.map_unit(a as f64 / full as f64, b as f64 / full as f64),
-                o.map_unit((a + size) as f64 / full as f64, (b + size) as f64 / full as f64),
+                o.map_unit(
+                    f64::from(a) / f64::from(full),
+                    f64::from(b) / f64::from(full),
+                ),
+                o.map_unit(
+                    f64::from(a + size) / f64::from(full),
+                    f64::from(b + size) / f64::from(full),
+                ),
             ];
             let smin = corners[0].0.min(corners[1].0);
             let tmin = corners[0].1.min(corners[1].1);
-            assert!((s as f64 / full as f64 - smin).abs() < 1e-12);
-            assert!((t as f64 / full as f64 - tmin).abs() < 1e-12);
+            assert!((f64::from(s) / f64::from(full) - smin).abs() < 1e-12);
+            assert!((f64::from(t) / f64::from(full) - tmin).abs() < 1e-12);
         }
     }
 }

@@ -11,8 +11,7 @@ use dgflow_fem::{LaplaceOperator, MatrixFree, MfParams};
 use dgflow_mesh::{Forest, Manifold};
 use dgflow_simd::Real;
 use dgflow_solvers::{
-    AlgebraicMultigrid, AmgParams, ChebyshevSmoother, CsrMatrix,
-    LinearOperator, Preconditioner,
+    AlgebraicMultigrid, AmgParams, ChebyshevSmoother, CsrMatrix, LinearOperator, Preconditioner,
 };
 use std::sync::Arc;
 
@@ -117,7 +116,11 @@ impl<T: Real, const L: usize> HybridMultigrid<T, L> {
         let mut levels: Vec<MgLevel<T, L>> = Vec::new();
 
         // finest: DG(k)
-        let mf_dg = Arc::new(MatrixFree::<T, L>::new(forest, manifold, MfParams::dg(degree)));
+        let mf_dg = Arc::new(MatrixFree::<T, L>::new(
+            forest,
+            manifold,
+            MfParams::dg(degree),
+        ));
         let dg_op = LaplaceOperator::with_bc(mf_dg.clone(), bc.clone());
 
         // CG degree sequence: k, k/2, ..., 1 on the fine forest
@@ -161,7 +164,7 @@ impl<T: Real, const L: usize> HybridMultigrid<T, L> {
             levels.push(MgLevel {
                 smoother,
                 transfer: Some(transfer),
-                label: format!("DG(k={})", degree),
+                label: format!("DG(k={degree})"),
                 op: LevelOp::Dg(dg_op),
             });
         }
@@ -170,7 +173,10 @@ impl<T: Real, const L: usize> HybridMultigrid<T, L> {
             let op = CgLaplaceOperator::with_bc(space.clone(), bc.clone());
             let smoother = make_smoother(&op);
             let transfer = if i + 1 < cg_spaces.len() {
-                Some(Transfer::p_transfer(space.clone(), cg_spaces[i + 1].clone()))
+                Some(Transfer::p_transfer(
+                    space.clone(),
+                    cg_spaces[i + 1].clone(),
+                ))
             } else if !h_spaces.is_empty() {
                 Some(Transfer::h_transfer(
                     space.clone(),
@@ -319,7 +325,7 @@ impl<const L: usize> Preconditioner<f64> for MixedPrecisionMg<L> {
         let mut x32 = vec![0.0f32; b32.len()];
         self.mg.vcycle(0, &b32, &mut x32);
         for (d, &x) in dst.iter_mut().zip(&x32) {
-            *d = x as f64 * scale;
+            *d = f64::from(x) * scale;
         }
     }
 }

@@ -31,6 +31,9 @@ pub struct PoissonSolveStats {
 /// Solve the SIPG Poisson problem `-Δu = rhs` (weak Dirichlet boundary via
 /// `bc`/`boundary_values`) with hybrid-multigrid-preconditioned CG in the
 /// paper's mixed-precision configuration.
+// The argument list mirrors the paper's solver configuration one-to-one;
+// bundling it into a struct would only move the same eight knobs.
+#[allow(clippy::too_many_arguments)]
 pub fn solve_poisson<const L: usize>(
     forest: &Forest,
     manifold: &dyn Manifold,
@@ -42,7 +45,11 @@ pub fn solve_poisson<const L: usize>(
     solution: &mut Vec<f64>,
 ) -> PoissonSolveStats {
     let t0 = Instant::now();
-    let mf = Arc::new(MatrixFree::<f64, L>::new(forest, manifold, MfParams::dg(degree)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        forest,
+        manifold,
+        MfParams::dg(degree),
+    ));
     let op = LaplaceOperator::with_bc(mf.clone(), bc.clone());
     let mg = MixedPrecisionMg::<L> {
         mg: HybridMultigrid::<f32, L>::build(forest, manifold, degree, bc, MgParams::default()),

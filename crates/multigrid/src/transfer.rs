@@ -269,8 +269,7 @@ impl<T: Real, const L: usize> Transfer<T, L> {
                 FineSpace::Cg(s) => {
                     let base = fc * dpc_f;
                     for i in 0..dpc_f {
-                        fl[i].0[0] =
-                            self.weights[base + i] * fine_vec[s.l2g[base + i] as usize];
+                        fl[i].0[0] = self.weights[base + i] * fine_vec[s.l2g[base + i] as usize];
                     }
                 }
             }
@@ -295,4 +294,3 @@ impl<T: Real, const L: usize> Transfer<T, L> {
         let _ = dpc_c;
     }
 }
-

@@ -34,8 +34,12 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 fn check_adjoint(t: &Transfer<f64, L>, tag: &str) {
     let nf = t.n_fine();
     let nc = t.n_coarse();
-    let xc: Vec<f64> = (0..nc).map(|i| ((i * 31 % 17) as f64) / 17.0 - 0.4).collect();
-    let yf: Vec<f64> = (0..nf).map(|i| ((i * 7 % 23) as f64) / 23.0 - 0.6).collect();
+    let xc: Vec<f64> = (0..nc)
+        .map(|i| ((i * 31 % 17) as f64) / 17.0 - 0.4)
+        .collect();
+    let yf: Vec<f64> = (0..nf)
+        .map(|i| ((i * 7 % 23) as f64) / 23.0 - 0.6)
+        .collect();
     let mut pxc = vec![0.0; nf];
     t.prolongate_add(&xc, &mut pxc);
     let mut ryf = vec![0.0; nc];
@@ -52,7 +56,11 @@ fn check_adjoint(t: &Transfer<f64, L>, tag: &str) {
 fn transfers_are_adjoint_pairs() {
     let forest = hanging_forest();
     let manifold = TrilinearManifold::from_forest(&forest);
-    let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let cg2 = Arc::new(CgSpace::<f64, L>::new(&forest, &manifold, 2));
     let cg1 = Arc::new(CgSpace::<f64, L>::new(&forest, &manifold, 1));
     check_adjoint(&Transfer::dg_to_cg(mf, cg2.clone()), "dg→cg");
@@ -71,7 +79,11 @@ fn prolongation_preserves_linear_functions() {
     // interpolation on the fine space (DG): checks weights + constraints
     let forest = hanging_forest();
     let manifold = TrilinearManifold::from_forest(&forest);
-    let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let cg = Arc::new(CgSpace::<f64, L>::new(&forest, &manifold, 2));
     let t = Transfer::dg_to_cg(mf.clone(), cg.clone());
     let f = |x: [f64; 3]| 1.0 + x[0] - 2.0 * x[1] + 0.5 * x[2];
@@ -128,7 +140,11 @@ fn mg_iterations(forest: &Forest, degree: usize) -> (usize, f64) {
     );
     assert!(stats.converged, "{stats:?}");
     // verify the solution is actually right, not just converged
-    let mf = Arc::new(MatrixFree::<f64, L>::new(forest, &manifold, MfParams::dg(degree)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        forest,
+        &manifold,
+        MfParams::dg(degree),
+    ));
     let err = l2_error(&mf, &u, &exact);
     (stats.iterations, err)
 }
@@ -156,12 +172,22 @@ fn mixed_precision_does_not_degrade_convergence() {
     let forest = cube_forest(2);
     let manifold = TrilinearManifold::from_forest(&forest);
     let bc = vec![BoundaryCondition::Dirichlet];
-    let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let op = LaplaceOperator::with_bc(mf.clone(), bc.clone());
     let rhs = integrate_rhs(&mf, &|x| x[0] * x[1] + 1.0);
 
     let mg32 = MixedPrecisionMg::<L> {
-        mg: HybridMultigrid::<f32, L>::build(&forest, &manifold, 2, bc.clone(), MgParams::default()),
+        mg: HybridMultigrid::<f32, L>::build(
+            &forest,
+            &manifold,
+            2,
+            bc.clone(),
+            MgParams::default(),
+        ),
     };
     let mg64 =
         HybridMultigrid::<f64, L>::build(&forest, &manifold, 2, bc.clone(), MgParams::default());
@@ -184,8 +210,13 @@ fn vcycle_alone_contracts_the_error() {
     let forest = cube_forest(1);
     let manifold = TrilinearManifold::from_forest(&forest);
     let bc = vec![BoundaryCondition::Dirichlet];
-    let mg = HybridMultigrid::<f64, L>::build(&forest, &manifold, 2, bc.clone(), MgParams::default());
-    let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+    let mg =
+        HybridMultigrid::<f64, L>::build(&forest, &manifold, 2, bc.clone(), MgParams::default());
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let op = LaplaceOperator::with_bc(mf.clone(), bc);
     let n = mf.n_dofs();
     let x_true: Vec<f64> = (0..n).map(|i| ((i * 131 % 47) as f64) / 47.0).collect();
@@ -210,7 +241,11 @@ fn w_cycle_converges_at_least_as_fast_as_v_cycle() {
     let forest = cube_forest(2);
     let manifold = TrilinearManifold::from_forest(&forest);
     let bc = vec![BoundaryCondition::Dirichlet];
-    let mf = Arc::new(MatrixFree::<f64, L>::new(&forest, &manifold, MfParams::dg(2)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(2),
+    ));
     let op = LaplaceOperator::with_bc(mf.clone(), bc.clone());
     let rhs = integrate_rhs(&mf, &|x| (7.0 * x[0]).sin() * x[2]);
     let run = |cycle: CycleType| -> usize {

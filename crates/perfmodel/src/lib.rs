@@ -19,4 +19,6 @@ pub mod scaling;
 
 pub use counts::LaplaceCounts;
 pub use machine::MachineModel;
-pub use scaling::{hybrid_level_sizes, matvec_time, strong_scaling_sweep, MgSolveModel, ScalingPoint};
+pub use scaling::{
+    hybrid_level_sizes, matvec_time, strong_scaling_sweep, MgSolveModel, ScalingPoint,
+};

@@ -31,7 +31,7 @@ impl MachineModel {
             cores_per_node: 48,
             mem_bw: 205e9,
             cache_bw_factor: 3.0,
-            cache_per_core: 2.375e6, // 1 MB L2 + 1.375 MB L3 slice
+            cache_per_core: 2.375e6,        // 1 MB L2 + 1.375 MB L3 slice
             flop_rate: 48.0 * 2.3e9 * 16.0, // 2 AVX-512 FMA units
             net_latency: 1.6e-6,
             net_bw: 12.5e9,

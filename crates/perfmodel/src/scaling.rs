@@ -29,7 +29,7 @@ pub fn matvec_time(
 ) -> f64 {
     let per_node = n_dofs / nodes as f64;
     let bytes = per_node * c.ideal_bytes_per_dof * 1.25; // measured ≈ 20–30 % above ideal
-    // cache boost when the working set fits L2+L3
+                                                         // cache boost when the working set fits L2+L3
     let bw = if bytes < m.cache_per_node() {
         m.mem_bw * m.cache_bw_factor
     } else {
@@ -139,7 +139,9 @@ pub fn hybrid_level_sizes(fine_dofs: f64, degree: usize, coarse_dofs: f64) -> Ve
     let mut kk = degree;
     while kk > 1 {
         kk /= 2;
-        current *= ((kk as f64 + 1.0) / (2.0 * kk as f64 + 1.0)).powi(3).min(0.25);
+        current *= ((kk as f64 + 1.0) / (2.0 * kk as f64 + 1.0))
+            .powi(3)
+            .min(0.25);
         out.push(current.max(coarse_dofs));
     }
     // h-coarsening
@@ -180,13 +182,13 @@ mod tests {
         let nodes: Vec<usize> = (0..14).map(|i| 1 << i).collect();
         let pts = strong_scaling_sweep(&m, &c, 180e6, &nodes, 1.0);
         // per-node throughput in the cache regime exceeds saturated
-        let per_node: Vec<f64> = pts
-            .iter()
-            .map(|p| p.throughput / p.nodes as f64)
-            .collect();
+        let per_node: Vec<f64> = pts.iter().map(|p| p.throughput / p.nodes as f64).collect();
         let saturated = per_node[0];
         let peak = per_node.iter().cloned().fold(0.0, f64::max);
-        assert!(peak > 1.3 * saturated, "no cache bump: {peak} vs {saturated}");
+        assert!(
+            peak > 1.3 * saturated,
+            "no cache bump: {peak} vs {saturated}"
+        );
         // latency collapse: the last point is far below the peak
         assert!(*per_node.last().unwrap() < 0.5 * peak);
     }

@@ -77,7 +77,7 @@ macro_rules! impl_real {
             }
             #[inline(always)]
             fn to_f64(self) -> f64 {
-                self as f64
+                f64::from(self)
             }
             #[inline(always)]
             fn mul_add(self, a: Self, b: Self) -> Self {

@@ -8,7 +8,9 @@
 //! registers".
 
 use crate::real::Real;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A batch of `LANES` scalars of type `T`, 64-byte aligned.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -256,7 +258,7 @@ mod tests {
 
     #[test]
     fn gather_scatter_with_inactive_lanes() {
-        let src: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let src: Vec<f64> = (0..32).map(f64::from).collect();
         let mut idx = [0usize; 8];
         for (l, i) in idx.iter_mut().enumerate() {
             *i = 2 * l;

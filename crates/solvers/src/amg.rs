@@ -69,7 +69,7 @@ impl<T: Real> DenseLu<T> {
                 lu[row * n + col] = f;
                 for c in col + 1..n {
                     let v = lu[prow * n + c];
-                    lu[row * n + c] = lu[row * n + c] - f * v;
+                    lu[row * n + c] -= f * v;
                 }
             }
         }
@@ -186,7 +186,10 @@ impl<T: Real> AlgebraicMultigrid<T> {
             current = coarse;
         }
         let coarse = DenseLu::factor(&current);
-        levels.push(Level { a: current, p: None });
+        levels.push(Level {
+            a: current,
+            p: None,
+        });
         Self {
             levels,
             coarse,
@@ -320,7 +323,7 @@ mod tests {
         let a = laplace_2d(4); // 16 unknowns < max_coarse_size
         let amg = AlgebraicMultigrid::new(a.clone(), AmgParams::default());
         assert_eq!(amg.n_levels(), 1);
-        let x_true: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let x_true: Vec<f64> = (0..16).map(|i| f64::from(i).sin()).collect();
         let mut b = vec![0.0; 16];
         a.matvec(&x_true, &mut b);
         let mut x = vec![0.0; 16];

@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn cg_solves_spd_system() {
         let a = laplace_1d(50);
-        let x_true: Vec<f64> = (0..50).map(|i| ((i * 7) % 11) as f64).collect();
+        let x_true: Vec<f64> = (0..50).map(|i| f64::from((i * 7) % 11)).collect();
         let mut b = vec![0.0; 50];
         a.apply(&x_true, &mut b);
         let mut x = vec![0.0; 50];
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn warm_start_converges_immediately() {
         let a = laplace_1d(20);
-        let x_true: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let x_true: Vec<f64> = (0..20).map(f64::from).collect();
         let mut b = vec![0.0; 20];
         a.apply(&x_true, &mut b);
         let mut x = x_true.clone();

@@ -83,13 +83,7 @@ impl<T: Real> ChebyshevSmoother<T> {
     /// Apply `degree` Chebyshev iterations to `A x = b`. With
     /// `zero_initial`, `x` is taken as 0 on entry (saves one operator
     /// application — the pre-smoothing configuration in the V-cycle).
-    pub fn smooth(
-        &self,
-        op: &dyn LinearOperator<T>,
-        b: &[T],
-        x: &mut [T],
-        zero_initial: bool,
-    ) {
+    pub fn smooth(&self, op: &dyn LinearOperator<T>, b: &[T], x: &mut [T], zero_initial: bool) {
         let n = b.len();
         let mut r = vec![T::ZERO; n];
         let mut d = vec![T::ZERO; n];
@@ -168,7 +162,11 @@ mod tests {
     fn error_norm(a: &CsrMatrix<f64>, b: &[f64], x: &[f64]) -> f64 {
         let mut r = vec![0.0; b.len()];
         a.matvec(x, &mut r);
-        r.iter().zip(b).map(|(ri, bi)| (ri - bi).powi(2)).sum::<f64>().sqrt()
+        r.iter()
+            .zip(b)
+            .map(|(ri, bi)| (ri - bi).powi(2))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -206,17 +204,23 @@ mod tests {
         let cheb = ChebyshevSmoother::new(&a, vec![0.5; n], 3, 4.0);
         let b = vec![0.0; n];
         // high-frequency error
-        let mut x_hf: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut x_hf: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         // smooth error
-        let mut x_lf: Vec<f64> =
-            (0..n).map(|i| (std::f64::consts::PI * (i as f64 + 1.0) / (n as f64 + 1.0)).sin()).collect();
+        let mut x_lf: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * (i as f64 + 1.0) / (n as f64 + 1.0)).sin())
+            .collect();
         let hf0 = vec_ops::norm(&x_hf);
         let lf0 = vec_ops::norm(&x_lf);
         cheb.smooth(&a, &b, &mut x_hf, false);
         cheb.smooth(&a, &b, &mut x_lf, false);
         let hf_reduction = vec_ops::norm(&x_hf) / hf0;
         let lf_reduction = vec_ops::norm(&x_lf) / lf0;
-        assert!(hf_reduction < 0.15, "high-frequency reduction {hf_reduction}");
+        assert!(
+            hf_reduction < 0.15,
+            "high-frequency reduction {hf_reduction}"
+        );
         assert!(
             hf_reduction < 0.3 * lf_reduction,
             "hf {hf_reduction} vs lf {lf_reduction}"
@@ -226,7 +230,7 @@ mod tests {
     #[test]
     fn nonzero_initial_guess_is_respected() {
         let a = laplace_1d(32);
-        let x_true: Vec<f64> = (0..32).map(|i| i as f64 * 0.1).collect();
+        let x_true: Vec<f64> = (0..32).map(|i| f64::from(i) * 0.1).collect();
         let mut b = vec![0.0; 32];
         a.matvec(&x_true, &mut b);
         let cheb = ChebyshevSmoother::new(&a, vec![0.5; 32], 3, 20.0);

@@ -174,7 +174,11 @@ impl<T: Real> CsrMatrix<T> {
             n_cols: self.n_cols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f64(v.to_f64()))
+                .collect(),
         }
     }
 }

@@ -100,7 +100,9 @@ impl<T: Real> DMatrix<T> {
 
     /// Convert entries to another scalar type.
     pub fn convert<U: Real>(&self) -> DMatrix<U> {
-        DMatrix::from_fn(self.rows, self.cols, |r, c| U::from_f64(self.get(r, c).to_f64()))
+        DMatrix::from_fn(self.rows, self.cols, |r, c| {
+            U::from_f64(self.get(r, c).to_f64())
+        })
     }
 
     /// Solve `self * x = b` in place by Gaussian elimination with partial

@@ -63,7 +63,11 @@ fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
     // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
     let dp = if (x * x - 1.0).abs() < 1e-300 {
         // endpoint limit: P_n'(±1) = ±1^{n-1} n(n+1)/2
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 - 1)
+        };
         sign * (n as f64) * (n as f64 + 1.0) / 2.0
     } else {
         (n as f64) * (x * p - p_prev) / (x * x - 1.0)

@@ -101,8 +101,11 @@ impl<T: Real> ShapeInfo1D<T> {
     /// Build shape data for degree `k`, the given node family, and an
     /// `n_q`-point Gauss quadrature.
     pub fn new(degree: usize, node_set: NodeSet, n_q: usize) -> Self {
-        assert!(n_q >= 1 && n_q <= 16, "n_q = {n_q} outside supported range");
-        assert!(degree + 1 <= 16, "degree {degree} outside supported range");
+        assert!(
+            (1..=16).contains(&n_q),
+            "n_q = {n_q} outside supported range"
+        );
+        assert!(degree < 16, "degree {degree} outside supported range");
         let nodes = node_set.nodes(degree);
         let basis = LagrangeBasis1D::new(nodes.clone());
         let quad = gauss_rule(n_q);
@@ -111,8 +114,16 @@ impl<T: Real> ShapeInfo1D<T> {
         let colloc_basis = LagrangeBasis1D::new(quad.points.clone());
         let colloc_gradients: DMatrix<T> = colloc_basis.gradient_matrix(&quad.points);
         let face_values = [
-            basis.values_at(0.0).iter().map(|&v| T::from_f64(v)).collect(),
-            basis.values_at(1.0).iter().map(|&v| T::from_f64(v)).collect(),
+            basis
+                .values_at(0.0)
+                .iter()
+                .map(|&v| T::from_f64(v))
+                .collect(),
+            basis
+                .values_at(1.0)
+                .iter()
+                .map(|&v| T::from_f64(v))
+                .collect(),
         ];
         let face_gradients = [
             basis

@@ -29,7 +29,11 @@ fn rhs(x: [f64; 3]) -> f64 {
 
 fn solve(forest: &Forest, k: usize) -> (usize, f64, Vec<f64>, Arc<MatrixFree<f64, L>>) {
     let manifold = TrilinearManifold::from_forest(forest);
-    let mf = Arc::new(MatrixFree::<f64, L>::new(forest, &manifold, MfParams::dg(k)));
+    let mf = Arc::new(MatrixFree::<f64, L>::new(
+        forest,
+        &manifold,
+        MfParams::dg(k),
+    ));
     let op = LaplaceOperator::new(mf.clone());
     let mut b = integrate_rhs(&mf, &rhs);
     let brhs = op.boundary_rhs(&exact);
@@ -110,7 +114,11 @@ fn main() {
     );
     // write the final solution for inspection
     let mut file = std::fs::File::create("adaptive_poisson.vtk").unwrap();
-    dgflow::fem::vtk::write_vtk(&mf, &[dgflow::fem::vtk::VtkField::Scalar("u", &u)], &mut file)
-        .unwrap();
+    dgflow::fem::vtk::write_vtk(
+        &mf,
+        &[dgflow::fem::vtk::VtkField::Scalar("u", &u)],
+        &mut file,
+    )
+    .unwrap();
     println!("wrote adaptive_poisson.vtk");
 }

@@ -14,7 +14,7 @@ fn analytic_q(g: f64, a: f64, nu: f64) -> f64 {
     let mut c = 1.0 / 12.0;
     let mut n = 1;
     while n <= 59 {
-        let npi = n as f64 * std::f64::consts::PI;
+        let npi = f64::from(n) * std::f64::consts::PI;
         c -= 16.0 / npi.powi(5) * (npi / 2.0).tanh();
         n += 2;
     }
@@ -51,7 +51,7 @@ fn main() {
     println!("{:>8} {:>14} {:>14}", "t [s]", "Q_out", "Q_in");
     while solver.time < 1.5 {
         solver.step();
-        if solver.step_count % 25 == 0 {
+        if solver.step_count.is_multiple_of(25) {
             println!(
                 "{:>8.3} {:>14.6e} {:>14.6e}",
                 solver.time,
@@ -65,7 +65,10 @@ fn main() {
     println!();
     println!("steady flow rate:   {q:.6e}");
     println!("analytic (series):  {q_exact:.6e}");
-    println!("relative error:     {:.2}%", 100.0 * (q - q_exact).abs() / q_exact);
+    println!(
+        "relative error:     {:.2}%",
+        100.0 * (q - q_exact).abs() / q_exact
+    );
     println!("‖div u‖:            {:.3e}", solver.divergence_norm());
     assert!((q - q_exact).abs() < 0.15 * q_exact);
 }

@@ -27,7 +27,14 @@ fn main() {
     let mut vent = VentilationModel::from_lung(&mesh, VentilatorSettings::default());
     let mut solver = FlowSolver::<8>::new(&forest, &manifold, params, bcs);
     let rho = solver.density();
-    vent.update(0.0, 0.0, 0.0, &vec![0.0; mesh.outlets.len()], rho, &mut solver.bcs);
+    vent.update(
+        0.0,
+        0.0,
+        0.0,
+        &vec![0.0; mesh.outlets.len()],
+        rho,
+        &mut solver.bcs,
+    );
 
     // scalar: fresh gas at the inlet, outflow elsewhere
     let mut sc_bcs = vec![ScalarBc::Outflow; 2 + mesh.outlets.len()];
@@ -66,6 +73,10 @@ fn main() {
     }
     let mean = scalar.total_mass() / volume;
     println!();
-    println!("mean concentration after {:.2} ms: {:.4}", solver.time * 1e3, mean);
+    println!(
+        "mean concentration after {:.2} ms: {:.4}",
+        solver.time * 1e3,
+        mean
+    );
     assert!(mean > 0.0, "no washin happened");
 }

@@ -40,10 +40,20 @@ fn main() {
 
     let mut solver = FlowSolver::<8>::new(&forest, &manifold, params, bcs);
     let rho = solver.density();
-    vent.update(0.0, 0.0, 0.0, &vec![0.0; mesh.outlets.len()], rho, &mut solver.bcs);
+    vent.update(
+        0.0,
+        0.0,
+        0.0,
+        &vec![0.0; mesh.outlets.len()],
+        rho,
+        &mut solver.bcs,
+    );
 
     println!();
-    println!("{:>8} {:>10} {:>12} {:>12} {:>12}", "t [ms]", "dt [µs]", "Q_in [ml/s]", "V_in [ml]", "p_tr [cmH2O]");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "t [ms]", "dt [µs]", "Q_in [ml/s]", "V_in [ml]", "p_tr [cmH2O]"
+    );
     let mut inhaled = 0.0;
     for step in 0..n_steps {
         let info = solver.step();
@@ -54,7 +64,14 @@ fn main() {
             .map(|o| solver.flow_rate(o.boundary_id))
             .collect();
         inhaled += q_in * info.dt;
-        vent.update(solver.time, info.dt, -q_in, &outlet_flows, rho, &mut solver.bcs);
+        vent.update(
+            solver.time,
+            info.dt,
+            -q_in,
+            &outlet_flows,
+            rho,
+            &mut solver.bcs,
+        );
         if step % 5 == 0 {
             println!(
                 "{:>8.2} {:>10.1} {:>12.2} {:>12.4} {:>12.2}",

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3501d4ab195e238e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-3501d4ab195e238e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-6dd45c49dff8843e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-6dd45c49dff8843e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cg_space-45aed654dd8d10ef.d: crates/fem/tests/cg_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcg_space-45aed654dd8d10ef.rmeta: crates/fem/tests/cg_space.rs Cargo.toml
+
+crates/fem/tests/cg_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

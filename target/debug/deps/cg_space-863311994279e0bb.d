@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cg_space-863311994279e0bb.d: crates/fem/tests/cg_space.rs
+
+/root/repo/target/debug/deps/cg_space-863311994279e0bb: crates/fem/tests/cg_space.rs
+
+crates/fem/tests/cg_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cg_space-8d62b37712170f21.d: crates/fem/tests/cg_space.rs
+
+/root/repo/target/debug/deps/cg_space-8d62b37712170f21: crates/fem/tests/cg_space.rs
+
+crates/fem/tests/cg_space.rs:

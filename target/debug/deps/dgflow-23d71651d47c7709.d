@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow-23d71651d47c7709.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-23d71651d47c7709.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-23d71651d47c7709.rmeta: src/lib.rs
+
+src/lib.rs:

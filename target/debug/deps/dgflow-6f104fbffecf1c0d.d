@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow-6f104fbffecf1c0d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-6f104fbffecf1c0d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-6f104fbffecf1c0d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow-770cc2fb1d25c3ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-770cc2fb1d25c3ea.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-770cc2fb1d25c3ea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow-ba316b14111c5846.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-ba316b14111c5846.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow-ba316b14111c5846.rmeta: src/lib.rs
+
+src/lib.rs:

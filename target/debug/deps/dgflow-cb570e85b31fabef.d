@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgflow-cb570e85b31fabef.d: src/lib.rs
+
+/root/repo/target/debug/deps/dgflow-cb570e85b31fabef: src/lib.rs
+
+src/lib.rs:

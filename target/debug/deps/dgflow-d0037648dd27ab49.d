@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgflow-d0037648dd27ab49.d: src/lib.rs
+
+/root/repo/target/debug/deps/dgflow-d0037648dd27ab49: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow_bench-1df71dab3a4084dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow_bench-1df71dab3a4084dc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow_bench-1df71dab3a4084dc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

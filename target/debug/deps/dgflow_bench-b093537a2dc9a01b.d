@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgflow_bench-b093537a2dc9a01b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_bench-b093537a2dc9a01b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow_bench-cfde3768ca5461f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow_bench-cfde3768ca5461f5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdgflow_bench-cfde3768ca5461f5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dgflow_bench-e4a7cb6b1ad115fa.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dgflow_bench-e4a7cb6b1ad115fa: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

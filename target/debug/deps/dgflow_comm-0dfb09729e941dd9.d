@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_comm-0dfb09729e941dd9.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-0dfb09729e941dd9.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-0dfb09729e941dd9.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_comm-2a8400cebec8e76a.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-2a8400cebec8e76a.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-2a8400cebec8e76a.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:

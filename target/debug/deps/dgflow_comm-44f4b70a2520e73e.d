@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgflow_comm-44f4b70a2520e73e.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_comm-44f4b70a2520e73e.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

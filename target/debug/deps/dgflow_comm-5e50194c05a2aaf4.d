@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_comm-5e50194c05a2aaf4.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-5e50194c05a2aaf4.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-5e50194c05a2aaf4.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:
+crates/comm/src/race.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_comm-6574dd463eeba8bd.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-6574dd463eeba8bd.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+/root/repo/target/debug/deps/libdgflow_comm-6574dd463eeba8bd.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:
+crates/comm/src/race.rs:

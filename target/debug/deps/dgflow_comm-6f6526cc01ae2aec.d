@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgflow_comm-6f6526cc01ae2aec.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_comm-6f6526cc01ae2aec.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgflow_comm-d8d5fb2f6431520b.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+/root/repo/target/debug/deps/dgflow_comm-d8d5fb2f6431520b: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs crates/comm/src/race.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:
+crates/comm/src/race.rs:

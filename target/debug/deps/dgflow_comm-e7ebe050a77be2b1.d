@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dgflow_comm-e7ebe050a77be2b1.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/debug/deps/dgflow_comm-e7ebe050a77be2b1: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dgflow_core-0e1adb4ae857c96e.d: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_core-0e1adb4ae857c96e.rmeta: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bc.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/field.rs:
+crates/core/src/operators.rs:
+crates/core/src/recorder.rs:
+crates/core/src/scalar.rs:
+crates/core/src/solver.rs:
+crates/core/src/timeint.rs:
+crates/core/src/ventilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

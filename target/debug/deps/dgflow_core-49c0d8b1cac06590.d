@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dgflow_core-49c0d8b1cac06590.d: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+/root/repo/target/debug/deps/dgflow_core-49c0d8b1cac06590: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bc.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/field.rs:
+crates/core/src/operators.rs:
+crates/core/src/recorder.rs:
+crates/core/src/scalar.rs:
+crates/core/src/solver.rs:
+crates/core/src/timeint.rs:
+crates/core/src/ventilation.rs:

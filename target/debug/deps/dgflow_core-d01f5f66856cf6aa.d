@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dgflow_core-d01f5f66856cf6aa.d: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+/root/repo/target/debug/deps/libdgflow_core-d01f5f66856cf6aa.rlib: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+/root/repo/target/debug/deps/libdgflow_core-d01f5f66856cf6aa.rmeta: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bc.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/field.rs:
+crates/core/src/operators.rs:
+crates/core/src/recorder.rs:
+crates/core/src/scalar.rs:
+crates/core/src/solver.rs:
+crates/core/src/timeint.rs:
+crates/core/src/ventilation.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dgflow_fem-0980153dd8583816.d: crates/fem/src/lib.rs crates/fem/src/batch.rs crates/fem/src/cg_space.rs crates/fem/src/distributed.rs crates/fem/src/evaluator.rs crates/fem/src/geometry.rs crates/fem/src/matrixfree.rs crates/fem/src/operators/mod.rs crates/fem/src/operators/functions.rs crates/fem/src/operators/laplace.rs crates/fem/src/operators/mass.rs crates/fem/src/util.rs crates/fem/src/vtk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_fem-0980153dd8583816.rmeta: crates/fem/src/lib.rs crates/fem/src/batch.rs crates/fem/src/cg_space.rs crates/fem/src/distributed.rs crates/fem/src/evaluator.rs crates/fem/src/geometry.rs crates/fem/src/matrixfree.rs crates/fem/src/operators/mod.rs crates/fem/src/operators/functions.rs crates/fem/src/operators/laplace.rs crates/fem/src/operators/mass.rs crates/fem/src/util.rs crates/fem/src/vtk.rs Cargo.toml
+
+crates/fem/src/lib.rs:
+crates/fem/src/batch.rs:
+crates/fem/src/cg_space.rs:
+crates/fem/src/distributed.rs:
+crates/fem/src/evaluator.rs:
+crates/fem/src/geometry.rs:
+crates/fem/src/matrixfree.rs:
+crates/fem/src/operators/mod.rs:
+crates/fem/src/operators/functions.rs:
+crates/fem/src/operators/laplace.rs:
+crates/fem/src/operators/mass.rs:
+crates/fem/src/util.rs:
+crates/fem/src/vtk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

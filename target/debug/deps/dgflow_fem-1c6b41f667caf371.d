@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dgflow_fem-1c6b41f667caf371.d: crates/fem/src/lib.rs crates/fem/src/batch.rs crates/fem/src/cg_space.rs crates/fem/src/distributed.rs crates/fem/src/evaluator.rs crates/fem/src/geometry.rs crates/fem/src/matrixfree.rs crates/fem/src/operators/mod.rs crates/fem/src/operators/functions.rs crates/fem/src/operators/laplace.rs crates/fem/src/operators/mass.rs crates/fem/src/util.rs crates/fem/src/vtk.rs
+
+/root/repo/target/debug/deps/libdgflow_fem-1c6b41f667caf371.rlib: crates/fem/src/lib.rs crates/fem/src/batch.rs crates/fem/src/cg_space.rs crates/fem/src/distributed.rs crates/fem/src/evaluator.rs crates/fem/src/geometry.rs crates/fem/src/matrixfree.rs crates/fem/src/operators/mod.rs crates/fem/src/operators/functions.rs crates/fem/src/operators/laplace.rs crates/fem/src/operators/mass.rs crates/fem/src/util.rs crates/fem/src/vtk.rs
+
+/root/repo/target/debug/deps/libdgflow_fem-1c6b41f667caf371.rmeta: crates/fem/src/lib.rs crates/fem/src/batch.rs crates/fem/src/cg_space.rs crates/fem/src/distributed.rs crates/fem/src/evaluator.rs crates/fem/src/geometry.rs crates/fem/src/matrixfree.rs crates/fem/src/operators/mod.rs crates/fem/src/operators/functions.rs crates/fem/src/operators/laplace.rs crates/fem/src/operators/mass.rs crates/fem/src/util.rs crates/fem/src/vtk.rs
+
+crates/fem/src/lib.rs:
+crates/fem/src/batch.rs:
+crates/fem/src/cg_space.rs:
+crates/fem/src/distributed.rs:
+crates/fem/src/evaluator.rs:
+crates/fem/src/geometry.rs:
+crates/fem/src/matrixfree.rs:
+crates/fem/src/operators/mod.rs:
+crates/fem/src/operators/functions.rs:
+crates/fem/src/operators/laplace.rs:
+crates/fem/src/operators/mass.rs:
+crates/fem/src/util.rs:
+crates/fem/src/vtk.rs:

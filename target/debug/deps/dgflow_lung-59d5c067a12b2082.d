@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_lung-59d5c067a12b2082.d: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/debug/deps/libdgflow_lung-59d5c067a12b2082.rlib: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/debug/deps/libdgflow_lung-59d5c067a12b2082.rmeta: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+crates/lung/src/lib.rs:
+crates/lung/src/mesher.rs:
+crates/lung/src/morphometry.rs:
+crates/lung/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgflow_lung-c698f4689e8046db.d: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_lung-c698f4689e8046db.rmeta: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs Cargo.toml
+
+crates/lung/src/lib.rs:
+crates/lung/src/mesher.rs:
+crates/lung/src/morphometry.rs:
+crates/lung/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

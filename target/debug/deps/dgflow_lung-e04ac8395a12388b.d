@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dgflow_lung-e04ac8395a12388b.d: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/debug/deps/dgflow_lung-e04ac8395a12388b: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+crates/lung/src/lib.rs:
+crates/lung/src/mesher.rs:
+crates/lung/src/morphometry.rs:
+crates/lung/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_lung-e8bb4c25f593bce5.d: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/debug/deps/libdgflow_lung-e8bb4c25f593bce5.rlib: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/debug/deps/libdgflow_lung-e8bb4c25f593bce5.rmeta: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+crates/lung/src/lib.rs:
+crates/lung/src/mesher.rs:
+crates/lung/src/morphometry.rs:
+crates/lung/src/tree.rs:

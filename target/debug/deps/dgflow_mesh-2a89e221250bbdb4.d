@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgflow_mesh-2a89e221250bbdb4.d: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libdgflow_mesh-2a89e221250bbdb4.rlib: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/libdgflow_mesh-2a89e221250bbdb4.rmeta: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/coarse.rs:
+crates/mesh/src/forest.rs:
+crates/mesh/src/manifold.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/topology.rs:

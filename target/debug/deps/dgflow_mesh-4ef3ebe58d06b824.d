@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dgflow_mesh-4ef3ebe58d06b824.d: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_mesh-4ef3ebe58d06b824.rmeta: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/coarse.rs:
+crates/mesh/src/forest.rs:
+crates/mesh/src/manifold.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

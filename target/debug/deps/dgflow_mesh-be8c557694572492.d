@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_mesh-be8c557694572492.d: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+/root/repo/target/debug/deps/dgflow_mesh-be8c557694572492: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/coarse.rs:
+crates/mesh/src/forest.rs:
+crates/mesh/src/manifold.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgflow_multigrid-690b62f5d6b42972.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_multigrid-690b62f5d6b42972.rmeta: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs Cargo.toml
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_multigrid-8b1851b2ee3c072e.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-8b1851b2ee3c072e.rlib: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-8b1851b2ee3c072e.rmeta: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_multigrid-a9d8e52c1828e755.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-a9d8e52c1828e755.rlib: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-a9d8e52c1828e755.rmeta: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_multigrid-acb54361b105f64c.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-acb54361b105f64c.rlib: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/libdgflow_multigrid-acb54361b105f64c.rmeta: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dgflow_multigrid-d8d4daf062b18403.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/debug/deps/dgflow_multigrid-d8d4daf062b18403: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:

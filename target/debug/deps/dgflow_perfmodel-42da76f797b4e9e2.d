@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dgflow_perfmodel-42da76f797b4e9e2.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_perfmodel-42da76f797b4e9e2.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counts.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

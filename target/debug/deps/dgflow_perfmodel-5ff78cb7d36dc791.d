@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dgflow_perfmodel-5ff78cb7d36dc791.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/debug/deps/dgflow_perfmodel-5ff78cb7d36dc791: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counts.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/scaling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_perfmodel-6acc4a377c7c5604.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/debug/deps/libdgflow_perfmodel-6acc4a377c7c5604.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/debug/deps/libdgflow_perfmodel-6acc4a377c7c5604.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counts.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/scaling.rs:

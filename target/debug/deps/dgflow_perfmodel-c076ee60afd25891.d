@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dgflow_perfmodel-c076ee60afd25891.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/debug/deps/libdgflow_perfmodel-c076ee60afd25891.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/debug/deps/libdgflow_perfmodel-c076ee60afd25891.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counts.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/scaling.rs:

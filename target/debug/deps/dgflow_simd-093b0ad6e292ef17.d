@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgflow_simd-093b0ad6e292ef17.d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libdgflow_simd-093b0ad6e292ef17.rlib: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libdgflow_simd-093b0ad6e292ef17.rmeta: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/real.rs:
+crates/simd/src/vector.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dgflow_simd-0e1e8315b48abf8d.d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/dgflow_simd-0e1e8315b48abf8d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/real.rs:
+crates/simd/src/vector.rs:

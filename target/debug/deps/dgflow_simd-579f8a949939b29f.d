@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_simd-579f8a949939b29f.d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_simd-579f8a949939b29f.rmeta: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs Cargo.toml
+
+crates/simd/src/lib.rs:
+crates/simd/src/real.rs:
+crates/simd/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

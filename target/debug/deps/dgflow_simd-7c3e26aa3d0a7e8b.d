@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dgflow_simd-7c3e26aa3d0a7e8b.d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libdgflow_simd-7c3e26aa3d0a7e8b.rlib: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/debug/deps/libdgflow_simd-7c3e26aa3d0a7e8b.rmeta: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/real.rs:
+crates/simd/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgflow_solvers-60ea647719acabdd.d: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/debug/deps/libdgflow_solvers-60ea647719acabdd.rlib: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/debug/deps/libdgflow_solvers-60ea647719acabdd.rmeta: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/amg.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/chebyshev.rs:
+crates/solvers/src/csr.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/traits.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dgflow_solvers-8400523ebe0ed906.d: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_solvers-8400523ebe0ed906.rmeta: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs Cargo.toml
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/amg.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/chebyshev.rs:
+crates/solvers/src/csr.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgflow_solvers-e68d424266084827.d: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/debug/deps/libdgflow_solvers-e68d424266084827.rlib: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/debug/deps/libdgflow_solvers-e68d424266084827.rmeta: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/amg.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/chebyshev.rs:
+crates/solvers/src/csr.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/traits.rs:

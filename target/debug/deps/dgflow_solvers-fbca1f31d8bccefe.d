@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_solvers-fbca1f31d8bccefe.d: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/debug/deps/dgflow_solvers-fbca1f31d8bccefe: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/amg.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/chebyshev.rs:
+crates/solvers/src/csr.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/traits.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dgflow_tensor-962b7fbe5677bce6.d: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdgflow_tensor-962b7fbe5677bce6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/even_odd.rs:
+crates/tensor/src/lagrange.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/quadrature.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/sumfac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dgflow_tensor-b2c27f19d41d782d.d: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+/root/repo/target/debug/deps/dgflow_tensor-b2c27f19d41d782d: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/even_odd.rs:
+crates/tensor/src/lagrange.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/quadrature.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/sumfac.rs:

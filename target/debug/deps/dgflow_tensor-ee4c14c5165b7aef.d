@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dgflow_tensor-ee4c14c5165b7aef.d: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+/root/repo/target/debug/deps/libdgflow_tensor-ee4c14c5165b7aef.rlib: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+/root/repo/target/debug/deps/libdgflow_tensor-ee4c14c5165b7aef.rmeta: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/even_odd.rs:
+crates/tensor/src/lagrange.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/quadrature.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/sumfac.rs:

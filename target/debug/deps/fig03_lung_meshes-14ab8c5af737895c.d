@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_lung_meshes-14ab8c5af737895c.d: crates/bench/src/bin/fig03_lung_meshes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_lung_meshes-14ab8c5af737895c.rmeta: crates/bench/src/bin/fig03_lung_meshes.rs Cargo.toml
+
+crates/bench/src/bin/fig03_lung_meshes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_lung_meshes-7d7f7a6535aa7631.d: crates/bench/src/bin/fig03_lung_meshes.rs
+
+/root/repo/target/debug/deps/fig03_lung_meshes-7d7f7a6535aa7631: crates/bench/src/bin/fig03_lung_meshes.rs
+
+crates/bench/src/bin/fig03_lung_meshes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_lung_meshes-e7f5a3e158c03c9c.d: crates/bench/src/bin/fig03_lung_meshes.rs
+
+/root/repo/target/debug/deps/fig03_lung_meshes-e7f5a3e158c03c9c: crates/bench/src/bin/fig03_lung_meshes.rs
+
+crates/bench/src/bin/fig03_lung_meshes.rs:

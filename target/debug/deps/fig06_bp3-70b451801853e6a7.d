@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_bp3-70b451801853e6a7.d: crates/bench/src/bin/fig06_bp3.rs
+
+/root/repo/target/debug/deps/fig06_bp3-70b451801853e6a7: crates/bench/src/bin/fig06_bp3.rs
+
+crates/bench/src/bin/fig06_bp3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_bp3-b6913a4924f76741.d: crates/bench/src/bin/fig06_bp3.rs
+
+/root/repo/target/debug/deps/fig06_bp3-b6913a4924f76741: crates/bench/src/bin/fig06_bp3.rs
+
+crates/bench/src/bin/fig06_bp3.rs:

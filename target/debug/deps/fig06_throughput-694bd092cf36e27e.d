@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_throughput-694bd092cf36e27e.d: crates/bench/src/bin/fig06_throughput.rs
+
+/root/repo/target/debug/deps/fig06_throughput-694bd092cf36e27e: crates/bench/src/bin/fig06_throughput.rs
+
+crates/bench/src/bin/fig06_throughput.rs:

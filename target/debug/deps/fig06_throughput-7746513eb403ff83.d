@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_throughput-7746513eb403ff83.d: crates/bench/src/bin/fig06_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_throughput-7746513eb403ff83.rmeta: crates/bench/src/bin/fig06_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig06_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

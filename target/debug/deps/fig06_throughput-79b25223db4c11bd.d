@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_throughput-79b25223db4c11bd.d: crates/bench/src/bin/fig06_throughput.rs
+
+/root/repo/target/debug/deps/fig06_throughput-79b25223db4c11bd: crates/bench/src/bin/fig06_throughput.rs
+
+crates/bench/src/bin/fig06_throughput.rs:

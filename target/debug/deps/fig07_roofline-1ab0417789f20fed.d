@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_roofline-1ab0417789f20fed.d: crates/bench/src/bin/fig07_roofline.rs
+
+/root/repo/target/debug/deps/fig07_roofline-1ab0417789f20fed: crates/bench/src/bin/fig07_roofline.rs
+
+crates/bench/src/bin/fig07_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_roofline-a7425dc5f0693664.d: crates/bench/src/bin/fig07_roofline.rs
+
+/root/repo/target/debug/deps/fig07_roofline-a7425dc5f0693664: crates/bench/src/bin/fig07_roofline.rs
+
+crates/bench/src/bin/fig07_roofline.rs:

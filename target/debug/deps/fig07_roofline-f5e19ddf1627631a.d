@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_roofline-f5e19ddf1627631a.d: crates/bench/src/bin/fig07_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_roofline-f5e19ddf1627631a.rmeta: crates/bench/src/bin/fig07_roofline.rs Cargo.toml
+
+crates/bench/src/bin/fig07_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

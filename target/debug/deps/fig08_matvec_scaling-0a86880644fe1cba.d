@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_matvec_scaling-0a86880644fe1cba.d: crates/bench/src/bin/fig08_matvec_scaling.rs
+
+/root/repo/target/debug/deps/fig08_matvec_scaling-0a86880644fe1cba: crates/bench/src/bin/fig08_matvec_scaling.rs
+
+crates/bench/src/bin/fig08_matvec_scaling.rs:

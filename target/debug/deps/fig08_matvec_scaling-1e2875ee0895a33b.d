@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_matvec_scaling-1e2875ee0895a33b.d: crates/bench/src/bin/fig08_matvec_scaling.rs
+
+/root/repo/target/debug/deps/fig08_matvec_scaling-1e2875ee0895a33b: crates/bench/src/bin/fig08_matvec_scaling.rs
+
+crates/bench/src/bin/fig08_matvec_scaling.rs:

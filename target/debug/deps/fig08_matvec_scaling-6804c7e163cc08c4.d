@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_matvec_scaling-6804c7e163cc08c4.d: crates/bench/src/bin/fig08_matvec_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_matvec_scaling-6804c7e163cc08c4.rmeta: crates/bench/src/bin/fig08_matvec_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig08_matvec_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_poisson_bifurcation-2a247207c440519c.d: crates/bench/src/bin/fig09_poisson_bifurcation.rs
+
+/root/repo/target/debug/deps/fig09_poisson_bifurcation-2a247207c440519c: crates/bench/src/bin/fig09_poisson_bifurcation.rs
+
+crates/bench/src/bin/fig09_poisson_bifurcation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_poisson_bifurcation-327f354ca2966644.d: crates/bench/src/bin/fig09_poisson_bifurcation.rs
+
+/root/repo/target/debug/deps/fig09_poisson_bifurcation-327f354ca2966644: crates/bench/src/bin/fig09_poisson_bifurcation.rs
+
+crates/bench/src/bin/fig09_poisson_bifurcation.rs:

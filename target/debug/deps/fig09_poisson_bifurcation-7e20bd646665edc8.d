@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_poisson_bifurcation-7e20bd646665edc8.d: crates/bench/src/bin/fig09_poisson_bifurcation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_poisson_bifurcation-7e20bd646665edc8.rmeta: crates/bench/src/bin/fig09_poisson_bifurcation.rs Cargo.toml
+
+crates/bench/src/bin/fig09_poisson_bifurcation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_poisson_lung-06ec719e17772364.d: crates/bench/src/bin/fig10_poisson_lung.rs
+
+/root/repo/target/debug/deps/fig10_poisson_lung-06ec719e17772364: crates/bench/src/bin/fig10_poisson_lung.rs
+
+crates/bench/src/bin/fig10_poisson_lung.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_poisson_lung-68cc5ce24d0bac8f.d: crates/bench/src/bin/fig10_poisson_lung.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_poisson_lung-68cc5ce24d0bac8f.rmeta: crates/bench/src/bin/fig10_poisson_lung.rs Cargo.toml
+
+crates/bench/src/bin/fig10_poisson_lung.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_poisson_lung-aa5e1e5c054254a5.d: crates/bench/src/bin/fig10_poisson_lung.rs
+
+/root/repo/target/debug/deps/fig10_poisson_lung-aa5e1e5c054254a5: crates/bench/src/bin/fig10_poisson_lung.rs
+
+crates/bench/src/bin/fig10_poisson_lung.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_solver-14ea298aeea4874d.d: crates/core/tests/flow_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_solver-14ea298aeea4874d.rmeta: crates/core/tests/flow_solver.rs Cargo.toml
+
+crates/core/tests/flow_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_solver-500755a3a5b2ee48.d: crates/core/tests/flow_solver.rs
+
+/root/repo/target/debug/deps/flow_solver-500755a3a5b2ee48: crates/core/tests/flow_solver.rs
+
+crates/core/tests/flow_solver.rs:

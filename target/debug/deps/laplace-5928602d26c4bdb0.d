@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laplace-5928602d26c4bdb0.d: crates/fem/tests/laplace.rs
+
+/root/repo/target/debug/deps/laplace-5928602d26c4bdb0: crates/fem/tests/laplace.rs
+
+crates/fem/tests/laplace.rs:

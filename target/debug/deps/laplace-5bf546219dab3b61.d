@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/laplace-5bf546219dab3b61.d: crates/fem/tests/laplace.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblaplace-5bf546219dab3b61.rmeta: crates/fem/tests/laplace.rs Cargo.toml
+
+crates/fem/tests/laplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

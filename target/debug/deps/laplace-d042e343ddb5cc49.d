@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laplace-d042e343ddb5cc49.d: crates/fem/tests/laplace.rs
+
+/root/repo/target/debug/deps/laplace-d042e343ddb5cc49: crates/fem/tests/laplace.rs
+
+crates/fem/tests/laplace.rs:

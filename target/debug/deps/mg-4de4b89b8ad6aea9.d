@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mg-4de4b89b8ad6aea9.d: crates/multigrid/tests/mg.rs
+
+/root/repo/target/debug/deps/mg-4de4b89b8ad6aea9: crates/multigrid/tests/mg.rs
+
+crates/multigrid/tests/mg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mg-94cad8b191dc6bbe.d: crates/multigrid/tests/mg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmg-94cad8b191dc6bbe.rmeta: crates/multigrid/tests/mg.rs Cargo.toml
+
+crates/multigrid/tests/mg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

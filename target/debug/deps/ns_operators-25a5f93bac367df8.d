@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ns_operators-25a5f93bac367df8.d: crates/core/tests/ns_operators.rs
+
+/root/repo/target/debug/deps/ns_operators-25a5f93bac367df8: crates/core/tests/ns_operators.rs
+
+crates/core/tests/ns_operators.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ns_operators-afdbe8123707223d.d: crates/core/tests/ns_operators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libns_operators-afdbe8123707223d.rmeta: crates/core/tests/ns_operators.rs Cargo.toml
+
+crates/core/tests/ns_operators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-aff5ced1af47c672.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-aff5ced1af47c672.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-aff5ced1af47c672.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-f994cbec3f125c72.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-f994cbec3f125c72: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5f7093f808b5d03c.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5f7093f808b5d03c: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-9cf52ee0528a4af0.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-9cf52ee0528a4af0.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-beba92d7a978eb19.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-beba92d7a978eb19: tests/pipeline.rs
+
+tests/pipeline.rs:

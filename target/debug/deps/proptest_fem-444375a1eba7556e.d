@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_fem-444375a1eba7556e.d: crates/fem/tests/proptest_fem.rs
+
+/root/repo/target/debug/deps/proptest_fem-444375a1eba7556e: crates/fem/tests/proptest_fem.rs
+
+crates/fem/tests/proptest_fem.rs:

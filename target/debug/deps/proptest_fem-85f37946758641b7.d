@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_fem-85f37946758641b7.d: crates/fem/tests/proptest_fem.rs
+
+/root/repo/target/debug/deps/proptest_fem-85f37946758641b7: crates/fem/tests/proptest_fem.rs
+
+crates/fem/tests/proptest_fem.rs:

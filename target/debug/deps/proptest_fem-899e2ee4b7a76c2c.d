@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_fem-899e2ee4b7a76c2c.d: crates/fem/tests/proptest_fem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_fem-899e2ee4b7a76c2c.rmeta: crates/fem/tests/proptest_fem.rs Cargo.toml
+
+crates/fem/tests/proptest_fem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-53a68882541ff607.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-53a68882541ff607: tests/proptests.rs
+
+tests/proptests.rs:

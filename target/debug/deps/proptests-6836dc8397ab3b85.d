@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6836dc8397ab3b85.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6836dc8397ab3b85: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/race_proptest-246e7de1c7bd3d39.d: crates/comm/tests/race_proptest.rs
+
+/root/repo/target/debug/deps/race_proptest-246e7de1c7bd3d39: crates/comm/tests/race_proptest.rs
+
+crates/comm/tests/race_proptest.rs:

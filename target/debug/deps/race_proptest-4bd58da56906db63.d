@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/race_proptest-4bd58da56906db63.d: crates/comm/tests/race_proptest.rs Cargo.toml
+
+/root/repo/target/debug/deps/librace_proptest-4bd58da56906db63.rmeta: crates/comm/tests/race_proptest.rs Cargo.toml
+
+crates/comm/tests/race_proptest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

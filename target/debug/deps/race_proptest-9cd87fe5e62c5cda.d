@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/race_proptest-9cd87fe5e62c5cda.d: crates/comm/tests/race_proptest.rs
+
+/root/repo/target/debug/deps/race_proptest-9cd87fe5e62c5cda: crates/comm/tests/race_proptest.rs
+
+crates/comm/tests/race_proptest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_lung_runs-c3ca9e9eccae3374.d: crates/bench/src/bin/table2_lung_runs.rs
+
+/root/repo/target/debug/deps/table2_lung_runs-c3ca9e9eccae3374: crates/bench/src/bin/table2_lung_runs.rs
+
+crates/bench/src/bin/table2_lung_runs.rs:

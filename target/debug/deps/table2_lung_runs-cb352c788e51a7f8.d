@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_lung_runs-cb352c788e51a7f8.d: crates/bench/src/bin/table2_lung_runs.rs
+
+/root/repo/target/debug/deps/table2_lung_runs-cb352c788e51a7f8: crates/bench/src/bin/table2_lung_runs.rs
+
+crates/bench/src/bin/table2_lung_runs.rs:

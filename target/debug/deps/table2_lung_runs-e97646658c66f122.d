@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_lung_runs-e97646658c66f122.d: crates/bench/src/bin/table2_lung_runs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_lung_runs-e97646658c66f122.rmeta: crates/bench/src/bin/table2_lung_runs.rs Cargo.toml
+
+crates/bench/src/bin/table2_lung_runs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

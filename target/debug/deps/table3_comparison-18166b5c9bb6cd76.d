@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_comparison-18166b5c9bb6cd76.d: crates/bench/src/bin/table3_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_comparison-18166b5c9bb6cd76.rmeta: crates/bench/src/bin/table3_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table3_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_comparison-382c438c77e1978e.d: crates/bench/src/bin/table3_comparison.rs
+
+/root/repo/target/debug/deps/table3_comparison-382c438c77e1978e: crates/bench/src/bin/table3_comparison.rs
+
+crates/bench/src/bin/table3_comparison.rs:

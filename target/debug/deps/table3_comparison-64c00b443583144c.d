@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_comparison-64c00b443583144c.d: crates/bench/src/bin/table3_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_comparison-64c00b443583144c.rmeta: crates/bench/src/bin/table3_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table3_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

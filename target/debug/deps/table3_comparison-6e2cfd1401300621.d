@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_comparison-6e2cfd1401300621.d: crates/bench/src/bin/table3_comparison.rs
+
+/root/repo/target/debug/deps/table3_comparison-6e2cfd1401300621: crates/bench/src/bin/table3_comparison.rs
+
+crates/bench/src/bin/table3_comparison.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-0319332da3483a8b.d: xtask/src/main.rs xtask/src/audit.rs
+
+/root/repo/target/debug/deps/xtask-0319332da3483a8b: xtask/src/main.rs xtask/src/audit.rs
+
+xtask/src/main.rs:
+xtask/src/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/xtask

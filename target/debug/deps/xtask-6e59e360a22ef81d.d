@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-6e59e360a22ef81d.d: xtask/src/main.rs xtask/src/audit.rs
+
+/root/repo/target/debug/deps/xtask-6e59e360a22ef81d: xtask/src/main.rs xtask/src/audit.rs
+
+xtask/src/main.rs:
+xtask/src/audit.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/xtask

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/___race_probe-28406185ed9292bf.d: examples/___race_probe.rs
+
+/root/repo/target/debug/examples/___race_probe-28406185ed9292bf: examples/___race_probe.rs
+
+examples/___race_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/___race_probe-80eaa882e4479bd7.d: examples/___race_probe.rs
+
+/root/repo/target/debug/examples/___race_probe-80eaa882e4479bd7: examples/___race_probe.rs
+
+examples/___race_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_poisson-6251ac2368542394.d: examples/adaptive_poisson.rs
+
+/root/repo/target/debug/examples/adaptive_poisson-6251ac2368542394: examples/adaptive_poisson.rs
+
+examples/adaptive_poisson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_poisson-aa2d92badcdfc69a.d: examples/adaptive_poisson.rs
+
+/root/repo/target/debug/examples/adaptive_poisson-aa2d92badcdfc69a: examples/adaptive_poisson.rs
+
+examples/adaptive_poisson.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_poisson-c5d633c703bb43b1.d: examples/adaptive_poisson.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_poisson-c5d633c703bb43b1.rmeta: examples/adaptive_poisson.rs Cargo.toml
+
+examples/adaptive_poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

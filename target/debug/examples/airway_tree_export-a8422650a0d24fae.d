@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/airway_tree_export-a8422650a0d24fae.d: examples/airway_tree_export.rs
+
+/root/repo/target/debug/examples/airway_tree_export-a8422650a0d24fae: examples/airway_tree_export.rs
+
+examples/airway_tree_export.rs:

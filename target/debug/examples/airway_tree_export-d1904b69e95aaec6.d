@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/airway_tree_export-d1904b69e95aaec6.d: examples/airway_tree_export.rs
+
+/root/repo/target/debug/examples/airway_tree_export-d1904b69e95aaec6: examples/airway_tree_export.rs
+
+examples/airway_tree_export.rs:

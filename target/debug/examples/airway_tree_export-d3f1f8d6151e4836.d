@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/airway_tree_export-d3f1f8d6151e4836.d: examples/airway_tree_export.rs Cargo.toml
+
+/root/repo/target/debug/examples/libairway_tree_export-d3f1f8d6151e4836.rmeta: examples/airway_tree_export.rs Cargo.toml
+
+examples/airway_tree_export.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

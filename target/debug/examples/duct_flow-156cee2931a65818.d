@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duct_flow-156cee2931a65818.d: examples/duct_flow.rs
+
+/root/repo/target/debug/examples/duct_flow-156cee2931a65818: examples/duct_flow.rs
+
+examples/duct_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duct_flow-1b96c98b87a0473b.d: examples/duct_flow.rs
+
+/root/repo/target/debug/examples/duct_flow-1b96c98b87a0473b: examples/duct_flow.rs
+
+examples/duct_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/duct_flow-4bea7034a4df488e.d: examples/duct_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libduct_flow-4bea7034a4df488e.rmeta: examples/duct_flow.rs Cargo.toml
+
+examples/duct_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

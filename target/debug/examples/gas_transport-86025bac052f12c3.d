@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gas_transport-86025bac052f12c3.d: examples/gas_transport.rs
+
+/root/repo/target/debug/examples/gas_transport-86025bac052f12c3: examples/gas_transport.rs
+
+examples/gas_transport.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gas_transport-db6c2019d43ad053.d: examples/gas_transport.rs
+
+/root/repo/target/debug/examples/gas_transport-db6c2019d43ad053: examples/gas_transport.rs
+
+examples/gas_transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gas_transport-fcf0819d04b45f9b.d: examples/gas_transport.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgas_transport-fcf0819d04b45f9b.rmeta: examples/gas_transport.rs Cargo.toml
+
+examples/gas_transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lung_ventilation-4ea0ae654283bbf1.d: examples/lung_ventilation.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblung_ventilation-4ea0ae654283bbf1.rmeta: examples/lung_ventilation.rs Cargo.toml
+
+examples/lung_ventilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

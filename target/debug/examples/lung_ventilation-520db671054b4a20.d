@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lung_ventilation-520db671054b4a20.d: examples/lung_ventilation.rs
+
+/root/repo/target/debug/examples/lung_ventilation-520db671054b4a20: examples/lung_ventilation.rs
+
+examples/lung_ventilation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lung_ventilation-65e31ad6936e38f7.d: examples/lung_ventilation.rs
+
+/root/repo/target/debug/examples/lung_ventilation-65e31ad6936e38f7: examples/lung_ventilation.rs
+
+examples/lung_ventilation.rs:

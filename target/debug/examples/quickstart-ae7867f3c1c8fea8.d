@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ae7867f3c1c8fea8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ae7867f3c1c8fea8: examples/quickstart.rs
+
+examples/quickstart.rs:

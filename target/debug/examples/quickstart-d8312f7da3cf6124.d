@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d8312f7da3cf6124.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d8312f7da3cf6124: examples/quickstart.rs
+
+examples/quickstart.rs:

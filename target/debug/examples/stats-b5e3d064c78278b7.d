@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stats-b5e3d064c78278b7.d: crates/lung/examples/stats.rs
+
+/root/repo/target/debug/examples/stats-b5e3d064c78278b7: crates/lung/examples/stats.rs
+
+crates/lung/examples/stats.rs:

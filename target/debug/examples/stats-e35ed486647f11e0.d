@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stats-e35ed486647f11e0.d: crates/lung/examples/stats.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstats-e35ed486647f11e0.rmeta: crates/lung/examples/stats.rs Cargo.toml
+
+crates/lung/examples/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

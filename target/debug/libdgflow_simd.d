@@ -1,0 +1,1 @@
+/root/repo/target/debug/libdgflow_simd.rlib: /root/repo/crates/simd/src/lib.rs /root/repo/crates/simd/src/real.rs /root/repo/crates/simd/src/vector.rs

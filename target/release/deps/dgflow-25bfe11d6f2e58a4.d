@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dgflow-25bfe11d6f2e58a4.d: src/lib.rs
+
+/root/repo/target/release/deps/libdgflow-25bfe11d6f2e58a4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdgflow-25bfe11d6f2e58a4.rmeta: src/lib.rs
+
+src/lib.rs:

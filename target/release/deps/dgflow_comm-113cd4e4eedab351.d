@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dgflow_comm-113cd4e4eedab351.d: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/release/deps/libdgflow_comm-113cd4e4eedab351.rlib: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+/root/repo/target/release/deps/libdgflow_comm-113cd4e4eedab351.rmeta: crates/comm/src/lib.rs crates/comm/src/comm.rs crates/comm/src/dist.rs crates/comm/src/par.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/comm.rs:
+crates/comm/src/dist.rs:
+crates/comm/src/par.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dgflow_core-cc64832d78d8cea9.d: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+/root/repo/target/release/deps/libdgflow_core-cc64832d78d8cea9.rlib: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+/root/repo/target/release/deps/libdgflow_core-cc64832d78d8cea9.rmeta: crates/core/src/lib.rs crates/core/src/bc.rs crates/core/src/checkpoint.rs crates/core/src/field.rs crates/core/src/operators.rs crates/core/src/recorder.rs crates/core/src/scalar.rs crates/core/src/solver.rs crates/core/src/timeint.rs crates/core/src/ventilation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bc.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/field.rs:
+crates/core/src/operators.rs:
+crates/core/src/recorder.rs:
+crates/core/src/scalar.rs:
+crates/core/src/solver.rs:
+crates/core/src/timeint.rs:
+crates/core/src/ventilation.rs:

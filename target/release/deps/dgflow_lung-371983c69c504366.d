@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dgflow_lung-371983c69c504366.d: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/release/deps/libdgflow_lung-371983c69c504366.rlib: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+/root/repo/target/release/deps/libdgflow_lung-371983c69c504366.rmeta: crates/lung/src/lib.rs crates/lung/src/mesher.rs crates/lung/src/morphometry.rs crates/lung/src/tree.rs
+
+crates/lung/src/lib.rs:
+crates/lung/src/mesher.rs:
+crates/lung/src/morphometry.rs:
+crates/lung/src/tree.rs:

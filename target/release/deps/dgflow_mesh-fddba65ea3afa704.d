@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgflow_mesh-fddba65ea3afa704.d: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libdgflow_mesh-fddba65ea3afa704.rlib: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+/root/repo/target/release/deps/libdgflow_mesh-fddba65ea3afa704.rmeta: crates/mesh/src/lib.rs crates/mesh/src/coarse.rs crates/mesh/src/forest.rs crates/mesh/src/manifold.rs crates/mesh/src/partition.rs crates/mesh/src/quality.rs crates/mesh/src/topology.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/coarse.rs:
+crates/mesh/src/forest.rs:
+crates/mesh/src/manifold.rs:
+crates/mesh/src/partition.rs:
+crates/mesh/src/quality.rs:
+crates/mesh/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dgflow_multigrid-99c9716ad89b8400.d: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/release/deps/libdgflow_multigrid-99c9716ad89b8400.rlib: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+/root/repo/target/release/deps/libdgflow_multigrid-99c9716ad89b8400.rmeta: crates/multigrid/src/lib.rs crates/multigrid/src/hierarchy.rs crates/multigrid/src/solve.rs crates/multigrid/src/transfer.rs
+
+crates/multigrid/src/lib.rs:
+crates/multigrid/src/hierarchy.rs:
+crates/multigrid/src/solve.rs:
+crates/multigrid/src/transfer.rs:

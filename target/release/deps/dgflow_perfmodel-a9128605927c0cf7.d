@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dgflow_perfmodel-a9128605927c0cf7.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/release/deps/libdgflow_perfmodel-a9128605927c0cf7.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+/root/repo/target/release/deps/libdgflow_perfmodel-a9128605927c0cf7.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counts.rs crates/perfmodel/src/machine.rs crates/perfmodel/src/scaling.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counts.rs:
+crates/perfmodel/src/machine.rs:
+crates/perfmodel/src/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dgflow_simd-c33b8a939299854f.d: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/release/deps/libdgflow_simd-c33b8a939299854f.rlib: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+/root/repo/target/release/deps/libdgflow_simd-c33b8a939299854f.rmeta: crates/simd/src/lib.rs crates/simd/src/real.rs crates/simd/src/vector.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/real.rs:
+crates/simd/src/vector.rs:

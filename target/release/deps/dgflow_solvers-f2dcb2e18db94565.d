@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgflow_solvers-f2dcb2e18db94565.d: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/release/deps/libdgflow_solvers-f2dcb2e18db94565.rlib: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+/root/repo/target/release/deps/libdgflow_solvers-f2dcb2e18db94565.rmeta: crates/solvers/src/lib.rs crates/solvers/src/amg.rs crates/solvers/src/cg.rs crates/solvers/src/chebyshev.rs crates/solvers/src/csr.rs crates/solvers/src/jacobi.rs crates/solvers/src/traits.rs
+
+crates/solvers/src/lib.rs:
+crates/solvers/src/amg.rs:
+crates/solvers/src/cg.rs:
+crates/solvers/src/chebyshev.rs:
+crates/solvers/src/csr.rs:
+crates/solvers/src/jacobi.rs:
+crates/solvers/src/traits.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dgflow_tensor-5199243f3c51d758.d: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+/root/repo/target/release/deps/libdgflow_tensor-5199243f3c51d758.rlib: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+/root/repo/target/release/deps/libdgflow_tensor-5199243f3c51d758.rmeta: crates/tensor/src/lib.rs crates/tensor/src/even_odd.rs crates/tensor/src/lagrange.rs crates/tensor/src/matrix.rs crates/tensor/src/quadrature.rs crates/tensor/src/shape.rs crates/tensor/src/sumfac.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/even_odd.rs:
+crates/tensor/src/lagrange.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/quadrature.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/sumfac.rs:

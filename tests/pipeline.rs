@@ -41,7 +41,9 @@ fn poisson_on_adaptively_refined_lung_with_multigrid() {
     // the hierarchy must contain all three coarsening mechanisms
     let labels: Vec<&str> = stats.level_sizes.iter().map(|(l, _)| l.as_str()).collect();
     assert!(labels[0].starts_with("DG"));
-    assert!(labels.iter().any(|l| l.starts_with("CG(k=2)") || l.starts_with("CG(k=1)")));
+    assert!(labels
+        .iter()
+        .any(|l| l.starts_with("CG(k=2)") || l.starts_with("CG(k=1)")));
 }
 
 #[test]
@@ -57,7 +59,14 @@ fn ventilated_lung_with_multigrid_runs() {
     let mut vent = VentilationModel::from_lung(&mesh, VentilatorSettings::default());
     let mut solver = FlowSolver::<4>::new(&forest, &manifold, params, bcs);
     let rho = solver.density();
-    vent.update(0.0, 0.0, 0.0, &vec![0.0; mesh.outlets.len()], rho, &mut solver.bcs);
+    vent.update(
+        0.0,
+        0.0,
+        0.0,
+        &vec![0.0; mesh.outlets.len()],
+        rho,
+        &mut solver.bcs,
+    );
     let mut inhaled = 0.0;
     for _ in 0..6 {
         let info = solver.step();
@@ -105,7 +114,7 @@ fn f32_and_f64_operators_agree() {
     let scale = y64.iter().fold(0.0f64, |m, v| m.max(v.abs()));
     for i in 0..n {
         assert!(
-            (y64[i] - y32[i] as f64).abs() < 1e-4 * scale,
+            (y64[i] - f64::from(y32[i])).abs() < 1e-4 * scale,
             "dof {i}: {} vs {}",
             y64[i],
             y32[i]

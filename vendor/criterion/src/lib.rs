@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `dgflow-bench` harness uses — groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
+//! harness: warm up briefly, then time batches until a fixed measurement
+//! budget and report mean ns/iter (plus throughput when configured). No
+//! statistics, plots, or baselines; numbers are indicative, not rigorous.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("dense", k)` renders as `dense/k`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let report = run_benchmark(self.criterion, f);
+        print_report(&full, &report, self.throughput);
+    }
+
+    /// Benchmark `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.name);
+        let report = run_benchmark(self.criterion, |b| f(b, input));
+        print_report(&full, &report, self.throughput);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+struct Report {
+    ns_per_iter: f64,
+}
+
+fn run_benchmark(c: &Criterion, mut f: impl FnMut(&mut Bencher)) -> Report {
+    // Calibrate: one iteration to estimate cost.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    // Warm up for ~1/5 of the budget, then measure.
+    let warmup_iters = (c.warm_up_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    b.iters = warmup_iters;
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1)) / (b.iters as u32);
+    let measure_iters =
+        (c.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000_000) as u64;
+    b.iters = measure_iters;
+    f(&mut b);
+    Report {
+        ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters as f64,
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (report.ns_per_iter * 1e-9);
+            format!("  thrpt: {:.3} Melem/s", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (report.ns_per_iter * 1e-9);
+            format!("  thrpt: {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} time: {:>12.1} ns/iter{thrpt}",
+        report.ns_per_iter
+    );
+}
+
+/// Benchmark driver: collects groups and timing budgets.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure this instance from `criterion_main!` (no-op in the stub).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let report = run_benchmark(self, f);
+        print_report(&name, &report, None);
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benchmarks_run() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_micros(200),
+            measurement_time: Duration::from_micros(500),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        let mut calls = 0u64;
+        group.bench_function("inc", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` module subset `dgflow` uses — `unbounded`,
+//! `Sender`, `Receiver` with `Result`-returning `send`/`recv` — implemented
+//! over `std::sync::mpsc`. Unlike `std::sync::mpsc::Receiver`, crossbeam's
+//! `Receiver` is `Sync` and cloneable; we recover that by wrapping the std
+//! receiver in a mutex (receive contention is irrelevant for the
+//! one-receiver-per-worker patterns in this repo).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Error returned by [`Sender::send`] when the channel is disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is disconnected
+    /// and empty.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// The receiving half of an unbounded channel (`Sync` + `Clone`, like
+    /// crossbeam's).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, failing if all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives, failing if all senders have been
+        /// dropped and the channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv()
+                .map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when no message is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .try_recv()
+                .ok()
+        }
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn send_recv_ordered() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn disconnect_is_an_error() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn receiver_shared_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let h = std::thread::spawn(move || {
+            let mut n = 0;
+            while rx2.recv().is_ok() {
+                n += 1;
+            }
+            n
+        });
+        let mut n = 0;
+        while rx.recv().is_ok() {
+            n += 1;
+        }
+        assert_eq!(n + h.join().unwrap(), 100);
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A real property-based testing engine covering the subset `dgflow` uses:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! range and `any::<T>()` strategies, `collection::vec`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic per-test
+//! RNG (override the base seed with `PROPTEST_SEED`); failures report the
+//! generated inputs. Shrinking is intentionally not implemented — failing
+//! inputs are printed verbatim instead of minimized.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // finite, sign-balanced, spanning many magnitudes
+            let mag = rng.gen_range(-300.0..300.0);
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            x * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen_range(<$t>::MIN..<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for "any value of `T`": `any::<bool>()`, `any::<u32>()`, …
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Admissible length specifications for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, len)` — vectors with lengths drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property (carried by `prop_assert*` early returns).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Create a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic RNG for one named test: FNV-1a of the test path mixed
+    /// with `PROPTEST_SEED` (default 0) so reruns reproduce failures.
+    pub fn rng_for(test_path: &str) -> super::strategy::TestRng {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        super::strategy::TestRng::seed_from_u64(h ^ base.rotate_left(17))
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current case with a formatted message (early-returns `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va == vb,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            va,
+            vb
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        $crate::prop_assert!(
+            va != vb,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            va
+        );
+    }};
+}
+
+/// Define property tests. Supports the classic form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0.0f64..1.0, v in collection::vec(0u32..9, 1..16)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl!{ cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { cfg = ($cfg:expr); } => {};
+    {
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case_idx in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                        stringify!($name), case_idx + 1, config.cases, e, inputs
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {} panicked at case {}/{}\n  inputs: {}",
+                            stringify!($name), case_idx + 1, config.cases, inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..3.0, n in 1usize..9) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn exact_vec_length(v in collection::vec(any::<bool>(), 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+    }
+
+    #[test]
+    // the nested #[test] fn is never collected by the harness — it exists
+    // to be called directly so the panic message can be inspected
+    #[allow(unnameable_test_items)]
+    fn failing_property_reports_inputs() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *r.expect_err("should fail").downcast::<String>().unwrap();
+        assert!(msg.contains("inputs:"), "got: {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for("t::x");
+        let mut b = crate::test_runner::rng_for("t::x");
+        let s = crate::strategy::any::<u64>();
+        for _ in 0..10 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Source-level unsafe audit: the repo-specific soundness rules that
+//! clippy cannot express.
+//!
+//! Rules (over `crates/`, `src/`, `tests/`, and `vendor/`):
+//!
+//! 1. **Safety contracts** — every `unsafe fn` carries a `# Safety` doc
+//!    section (or a `// SAFETY:` comment), and every `unsafe impl` /
+//!    `unsafe` block has a `SAFETY:` comment in the immediately preceding
+//!    lines. This backs up `clippy::undocumented_unsafe_blocks` with a
+//!    toolchain-independent check that also covers private `unsafe fn`s.
+//! 2. **Transmute allowlist** — `mem::transmute` is forbidden everywhere
+//!    except the files in [`TRANSMUTE_ALLOWLIST`] (currently only the
+//!    lifetime erasure in `comm/src/par.rs`, whose soundness argument is
+//!    documented at the call site).
+//! 3. **Unwrap-free hot kernels** — no `.unwrap()` / `.expect(` in the
+//!    SIMD/tensor kernels and the face evaluator ([`HOT_PATHS`]): a panic
+//!    unwinding out of a conflict-colored assembly loop would abort the
+//!    process from a worker thread. Test modules (everything after the
+//!    conventional trailing `#[cfg(test)]`) are exempt.
+//!
+//! The scanner is a line-based state machine that blanks comments and
+//! string literals before token matching — deliberately simple; it relies
+//! on `rustfmt`-shaped code, which `cargo xtask ci` enforces anyway.
+
+use std::path::{Path, PathBuf};
+
+/// Files allowed to call `mem::transmute`, with the reason on record.
+const TRANSMUTE_ALLOWLIST: &[&str] = &[
+    // lifetime erasure for the borrowed parallel-for closure; soundness
+    // argument (run blocks until all workers drain) at the call site
+    "crates/comm/src/par.rs",
+];
+
+/// Panic-free zones: the kernels executed inside parallel assembly loops.
+const HOT_PATHS: &[&str] = &[
+    "crates/simd/src",
+    "crates/tensor/src",
+    "crates/fem/src/evaluator.rs",
+];
+
+/// Directories scanned by the audit.
+const ROOTS: &[&str] = &["crates", "src", "tests", "vendor"];
+
+/// How many preceding comment/code lines may separate a `SAFETY:` comment
+/// from the `unsafe` it justifies.
+const SAFETY_LOOKBACK: usize = 6;
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Run the audit; prints violations and returns `true` when clean.
+pub fn run(_args: &[String]) -> bool {
+    let repo_root = repo_root();
+    let mut files = Vec::new();
+    for root in ROOTS {
+        collect_rs_files(&repo_root.join(root), &mut files);
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            eprintln!("unsafe-audit: could not read {}", file.display());
+            return false;
+        };
+        let rel = file.strip_prefix(&repo_root).unwrap_or(file);
+        audit_file(rel, &source, &mut violations);
+    }
+    for v in &violations {
+        eprintln!(
+            "unsafe-audit: {}:{}: [{}] {}",
+            v.file.display(),
+            v.line,
+            v.rule,
+            v.message
+        );
+    }
+    if violations.is_empty() {
+        eprintln!("unsafe-audit: OK ({} files clean)", files.len());
+        true
+    } else {
+        eprintln!(
+            "unsafe-audit: {} violation(s) in {} file(s) scanned",
+            violations.len(),
+            files.len()
+        );
+        false
+    }
+}
+
+fn repo_root() -> PathBuf {
+    // xtask always runs via `cargo xtask`, so CARGO_MANIFEST_DIR is
+    // <repo>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the repo")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One source line split into the code part (comments and string-literal
+/// contents blanked) and the comment part.
+struct ScannedLine {
+    code: String,
+    comment: String,
+}
+
+/// Blank out comments and string contents so token matching cannot be
+/// fooled by `"unsafe"` in a string or `transmute` in prose.
+fn scan_lines(source: &str) -> Vec<ScannedLine> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                comment.push(c);
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            if in_string {
+                if c == '\\' {
+                    chars.next(); // skip escaped char
+                } else if c == '"' {
+                    in_string = false;
+                    code.push('"');
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    code.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => {
+                    comment.extend(chars.by_ref());
+                    break;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                _ => code.push(c),
+            }
+        }
+        // Strings may legitimately span lines; reset per line to keep the
+        // scanner robust on the code that matters (token lines).
+        out.push(ScannedLine { code, comment });
+    }
+    out
+}
+
+fn has_token(code: &str, token: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let i = start + pos;
+        let before_ok = i == 0 || !is_ident_char(bytes[i - 1]);
+        let end = i + token.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does any of the `SAFETY_LOOKBACK` preceding lines (or the line itself)
+/// carry a safety justification?
+fn has_safety_nearby(lines: &[ScannedLine], idx: usize) -> bool {
+    let lo = idx.saturating_sub(SAFETY_LOOKBACK);
+    lines[lo..=idx].iter().any(|l| {
+        l.comment.contains("SAFETY:")
+            || l.comment.contains("# Safety")
+            || l.comment.contains("Safety:")
+    })
+}
+
+/// Does the contiguous doc-comment/attribute block above a declaration
+/// contain a `# Safety` section?
+fn doc_block_has_safety(lines: &[ScannedLine], decl_idx: usize) -> bool {
+    let mut i = decl_idx;
+    while i > 0 {
+        i -= 1;
+        let code = lines[i].code.trim();
+        let comment = lines[i].comment.trim();
+        let is_doc = comment.starts_with('/') || comment.starts_with('!');
+        let is_attr_or_blank = code.is_empty() || code.starts_with("#[");
+        if !(is_doc || is_attr_or_blank) {
+            break;
+        }
+        if comment.contains("# Safety") || comment.contains("SAFETY:") {
+            return true;
+        }
+        if code.is_empty() && comment.is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+fn in_hot_path(rel: &Path) -> bool {
+    let p = rel.to_string_lossy();
+    HOT_PATHS.iter().any(|h| p.starts_with(h))
+}
+
+fn audit_file(rel: &Path, source: &str, violations: &mut Vec<Violation>) {
+    let lines = scan_lines(source);
+    let transmute_allowed = TRANSMUTE_ALLOWLIST
+        .iter()
+        .any(|a| rel.to_string_lossy() == *a);
+    let hot = in_hot_path(rel);
+    let mut in_tests = false;
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let code = line.code.trim();
+        if code.starts_with("#[cfg(test)]") {
+            // convention: the test module is the last item in a file
+            in_tests = true;
+        }
+
+        if has_token(&line.code, "transmute") && !transmute_allowed {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "transmute-allowlist",
+                message: "mem::transmute outside the allowlist; if this erasure is \
+                          truly necessary, document the soundness argument and add \
+                          the file to TRANSMUTE_ALLOWLIST in xtask/src/audit.rs"
+                    .into(),
+            });
+        }
+
+        if !has_token(&line.code, "unsafe") {
+            if hot
+                && !in_tests
+                && (line.code.contains(".unwrap()") || line.code.contains(".expect("))
+            {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "no-unwrap-in-kernels",
+                    message: "unwrap()/expect() in a hot kernel path: a panic here \
+                              unwinds out of a parallel assembly loop; propagate the \
+                              error or restructure so the invalid state is impossible"
+                        .into(),
+                });
+            }
+            continue;
+        }
+
+        if code.contains("unsafe fn") {
+            if !doc_block_has_safety(&lines, i) && !has_safety_nearby(&lines, i) {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "unsafe-fn-contract",
+                    message: "unsafe fn without a `# Safety` doc section stating the \
+                              caller's obligations"
+                        .into(),
+                });
+            }
+        } else if code.contains("unsafe impl") {
+            if !has_safety_nearby(&lines, i) {
+                violations.push(Violation {
+                    file: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "unsafe-impl-contract",
+                    message: "unsafe impl without a `// SAFETY:` comment justifying \
+                              the trait's invariants"
+                        .into(),
+                });
+            }
+        } else if !has_safety_nearby(&lines, i) {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "undocumented-unsafe-block",
+                message: "unsafe block without a `// SAFETY:` comment in the \
+                          preceding lines"
+                    .into(),
+            });
+        }
+
+        if hot && !in_tests && (line.code.contains(".unwrap()") || line.code.contains(".expect(")) {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "no-unwrap-in-kernels",
+                message: "unwrap()/expect() in a hot kernel path".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit_str(rel: &str, src: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        audit_file(Path::new(rel), src, &mut v);
+        v.into_iter().map(|x| x.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn documented_unsafe_block_passes() {
+        let src = "fn f() {\n    // SAFETY: index is in bounds by construction\n    unsafe { do_it() };\n}\n";
+        assert!(audit_str("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_fails() {
+        let src = "fn f() {\n    unsafe { do_it() };\n}\n";
+        assert_eq!(
+            audit_str("crates/x/src/lib.rs", src),
+            vec!["undocumented-unsafe-block"]
+        );
+    }
+
+    #[test]
+    fn unsafe_fn_requires_safety_doc() {
+        let good = "/// Does a thing.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn g(p: *mut u8) {}\n";
+        assert!(audit_str("crates/x/src/lib.rs", good).is_empty());
+        let bad = "/// Does a thing.\npub unsafe fn g(p: *mut u8) {}\n";
+        assert_eq!(
+            audit_str("crates/x/src/lib.rs", bad),
+            vec!["unsafe-fn-contract"]
+        );
+    }
+
+    #[test]
+    fn transmute_blocked_outside_allowlist() {
+        let src = "fn f() {\n    // SAFETY: same layout\n    let x = unsafe { std::mem::transmute::<u32, f32>(1) };\n}\n";
+        assert_eq!(
+            audit_str("crates/x/src/lib.rs", src),
+            vec!["transmute-allowlist"]
+        );
+        assert!(audit_str("crates/comm/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn transmute_in_string_or_comment_ignored() {
+        let src = "fn f() {\n    // transmute is forbidden here\n    let s = \"transmute\";\n}\n";
+        assert!(audit_str("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_paths_outside_tests() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            audit_str("crates/tensor/src/matrix.rs", src),
+            vec!["no-unwrap-in-kernels"]
+        );
+        assert!(audit_str("crates/mesh/src/lib.rs", src).is_empty());
+        let in_tests = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(audit_str("crates/tensor/src/matrix.rs", in_tests).is_empty());
+    }
+}

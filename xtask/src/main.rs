@@ -1,0 +1,160 @@
+//! Repo automation tasks (`cargo xtask <command>`).
+//!
+//! The solver's shared-memory assembly loops write through raw pointers
+//! under a caller-checked disjointness invariant; this harness is the
+//! machine-checked discipline that keeps those invariants from rotting:
+//!
+//! * `lint` — the clippy/rustc lint wall (`[workspace.lints]` in the root
+//!   manifest) with warnings denied, over every target of every crate.
+//! * `unsafe-audit` — source-level rules clippy cannot express: every
+//!   `unsafe fn`/`unsafe impl`/`unsafe` block carries a safety contract,
+//!   `transmute` only in the allowlist, and no `unwrap()`/`expect()` in the
+//!   hot kernels.
+//! * `miri` — the curated UB-detection subset (nightly); degrades to a
+//!   skip with a clear message when the `miri` component is unavailable
+//!   (e.g. offline containers) unless `--strict`.
+//! * `ci` — everything above plus fmt, build, and tests, in CI order.
+
+mod audit;
+
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => ("help", &[][..]),
+    };
+    let ok = match cmd {
+        "lint" => lint(),
+        "unsafe-audit" => audit::run(rest),
+        "miri" => miri(rest.iter().any(|a| a == "--strict")),
+        "ci" => ci(),
+        "help" | "--help" | "-h" => {
+            print_help();
+            true
+        }
+        other => {
+            eprintln!("xtask: unknown command `{other}`\n");
+            print_help();
+            false
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint          clippy lint wall over the whole workspace (warnings denied)\n  \
+         unsafe-audit  repo-specific unsafe/transmute/unwrap source audit\n  \
+         miri          run the curated miri test subset (nightly; --strict to fail when unavailable)\n  \
+         ci            fmt --check + lint + unsafe-audit + build --release + test + miri"
+    );
+}
+
+/// Run `cmd`, streaming output; returns success.
+fn step(name: &str, cmd: &mut Command) -> bool {
+    eprintln!("xtask: {name}: {cmd:?}");
+    match cmd.status() {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask: {name} failed with {s}");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: could not launch {name}: {e}");
+            false
+        }
+    }
+}
+
+fn cargo() -> Command {
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+}
+
+/// The clippy lint wall: all workspace crates, all targets, warnings denied.
+/// The lint levels themselves live in `[workspace.lints]` in the root
+/// `Cargo.toml`; this just refuses to let any surviving warning through.
+fn lint() -> bool {
+    step(
+        "lint",
+        cargo().args([
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ]),
+    )
+}
+
+/// The curated miri subset: the crates whose soundness the paper's
+/// performance story leans on. `dgflow-fem --lib util::` covers the
+/// `SharedMut` aliasing patterns used by the scatter-add paths.
+const MIRI_SUBSET: &[(&str, &[&str])] = &[
+    ("dgflow-simd", &[]),
+    ("dgflow-tensor", &[]),
+    ("dgflow-fem", &["--lib", "--", "util::"]),
+];
+
+fn miri(strict: bool) -> bool {
+    let available = Command::new("cargo")
+        .args(["+nightly", "miri", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !available {
+        eprintln!(
+            "xtask: miri is not installed for the nightly toolchain.\n\
+             xtask: install with: rustup component add --toolchain nightly miri\n\
+             xtask: (offline containers cannot; the audit + check-disjoint tests still run)"
+        );
+        if strict {
+            eprintln!("xtask: --strict: treating unavailable miri as failure");
+        }
+        return !strict;
+    }
+    for (pkg, extra) in MIRI_SUBSET {
+        let mut cmd = Command::new("cargo");
+        cmd.args(["+nightly", "miri", "test", "-p", pkg]);
+        cmd.args(*extra);
+        // Bound pool threads so the interpreted schedules stay small, and
+        // let miri try all of them.
+        cmd.env("DGFLOW_THREADS", "2");
+        cmd.env("MIRIFLAGS", "-Zmiri-many-seeds=0..4");
+        if !step(&format!("miri {pkg}"), &mut cmd) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The full CI sequence, stopping at the first failure.
+fn ci() -> bool {
+    step("fmt", cargo().args(["fmt", "--all", "--check"]))
+        && lint()
+        && audit::run(&[])
+        && step("build", cargo().args(["build", "--release"]))
+        && step("test", cargo().args(["test", "--workspace", "-q"]))
+        && step(
+            "test check-disjoint",
+            cargo().args([
+                "test",
+                "-q",
+                "-p",
+                "dgflow-fem",
+                "-p",
+                "dgflow-comm",
+                "--features",
+                "dgflow-fem/check-disjoint,dgflow-comm/check-disjoint",
+            ]),
+        )
+        && miri(false)
+}
