@@ -1,0 +1,69 @@
+//! Cooperative cancellation for long-running parallel work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the party
+//! that requests a shutdown (a signal handler, a failing sibling job, a
+//! campaign scheduler draining its queue) and the loops that must wind
+//! down gracefully. Cancellation is level-triggered and sticky: once
+//! cancelled, a token stays cancelled.
+//!
+//! The loops themselves decide their safe stopping points — a time
+//! stepper checks between steps, a scheduler between jobs — so state on
+//! disk (checkpoints, manifests) is always consistent when the process
+//! exits, in contrast to a hard kill, which the checkpoint/restart layer
+//! must handle instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, sticky cancellation flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        // sticky
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        let h = std::thread::spawn(move || {
+            while !c.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        t.cancel();
+        assert!(h.join().unwrap());
+    }
+}

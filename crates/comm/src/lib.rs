@@ -8,13 +8,19 @@
 //!   vectors with nearest-neighbor ghost exchange on top.
 //! * [`par`] — a persistent-thread `parallel_for` used by the matrix-free
 //!   cell/face loops within one address space.
+//!
+//! [`cancel`] adds the cooperative shutdown flag long-running drivers
+//! (campaign schedulers, time steppers) poll at their safe stopping
+//! points.
 
+pub mod cancel;
 pub mod comm;
 pub mod dist;
 pub mod par;
 #[cfg(feature = "check-disjoint")]
 pub mod race;
 
+pub use cancel::CancelToken;
 pub use comm::{Communicator, SelfComm, ThreadComm};
 pub use dist::{dist_dot, dist_norm, GhostPattern};
 pub use par::{parallel_for_chunks, ThreadPool};

@@ -3,14 +3,24 @@
 //! up to 25 h even at scale).
 //!
 //! A deliberately simple, self-describing little-endian binary format
-//! (magic + version + sized f64 blocks), written with std only.
+//! (magic + version + sized f64 blocks), written with std only. Version 2
+//! carries the full two-level BDF history (`velocity_old`, `conv_old`,
+//! `dt_old`, `step_count`), so a restored solver continues with the same
+//! BDF2 extrapolation it would have used without the interruption.
+//!
+//! Robustness contract: [`Checkpoint::read`] never panics or makes
+//! unbounded allocations on corrupt/truncated/hostile input — every
+//! malformed stream is an `io::Error` — and [`Checkpoint::restore`]
+//! rejects snapshots whose field lengths do not match the target solver
+//! instead of asserting. Campaign runtimes rely on this: a checkpoint
+//! file torn by a crash must surface as a recoverable error, not a panic.
 
 use crate::solver::FlowSolver;
 use crate::ventilation::VentilationModel;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"DGFLOWCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A serializable snapshot of the time-dependent state (mesh/operator
 /// setup is rebuilt deterministically from the same inputs).
@@ -18,14 +28,18 @@ const VERSION: u32 = 1;
 pub struct Checkpoint {
     /// Simulated time.
     pub time: f64,
-    /// Current and previous step size.
+    /// Current step size.
     pub dt: f64,
     /// Previous step size.
     pub dt_old: f64,
     /// Steps taken.
     pub step_count: u64,
-    /// Velocity field.
+    /// Velocity field at `t^n`.
     pub velocity: Vec<f64>,
+    /// Velocity field at `t^{n-1}` (BDF2 history).
+    pub velocity_old: Vec<f64>,
+    /// Convective term at `t^{n-1}` (extrapolation history).
+    pub conv_old: Vec<f64>,
     /// Pressure field.
     pub pressure: Vec<f64>,
     /// Ventilator driving pressure (controller state).
@@ -45,14 +59,27 @@ fn write_f64s(out: &mut dyn Write, v: &[f64]) -> io::Result<()> {
 fn read_f64s(inp: &mut dyn Read) -> io::Result<Vec<f64>> {
     let mut n8 = [0u8; 8];
     inp.read_exact(&mut n8)?;
-    let n = u64::from_le_bytes(n8) as usize;
-    let mut v = Vec::with_capacity(n);
+    let n = u64::from_le_bytes(n8);
+    let n: usize = n
+        .try_into()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "field length overflows usize"))?;
+    // A hostile/torn length prefix must not trigger an unbounded
+    // allocation before the stream proves it actually carries the data:
+    // grow in bounded steps and let `read_exact` fail on truncation.
+    let mut v = Vec::new();
     let mut b = [0u8; 8];
     for _ in 0..n {
+        if v.len() == v.capacity() {
+            v.reserve((n - v.len()).min(1 << 16));
+        }
         inp.read_exact(&mut b)?;
         v.push(f64::from_le_bytes(b));
     }
     Ok(v)
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
 impl Checkpoint {
@@ -65,9 +92,11 @@ impl Checkpoint {
         Self {
             time: solver.time,
             dt: solver.dt,
-            dt_old: solver.dt,
+            dt_old: solver.dt_old,
             step_count: solver.step_count as u64,
             velocity: solver.velocity.clone(),
+            velocity_old: solver.velocity_old.clone(),
+            conv_old: solver.conv_old.clone(),
             pressure: solver.pressure.clone(),
             delta_p: vent.map(|v| v.settings.delta_p).unwrap_or(0.0),
             compartment_volumes: vent
@@ -76,24 +105,52 @@ impl Checkpoint {
         }
     }
 
-    /// Restore into a freshly constructed solver of identical setup.
+    /// Restore into a freshly constructed solver of identical setup,
+    /// including the BDF2 step history, so the next [`FlowSolver::step`]
+    /// is bit-for-bit the step the interrupted run would have taken.
+    ///
+    /// # Errors
+    /// Fails with [`io::ErrorKind::InvalidData`] when any field length
+    /// does not match the target solver — the snapshot belongs to a
+    /// different discretization.
     pub fn restore<const L: usize>(
         &self,
         solver: &mut FlowSolver<L>,
         vent: Option<&mut VentilationModel>,
-    ) {
-        assert_eq!(self.velocity.len(), solver.velocity.len());
-        assert_eq!(self.pressure.len(), solver.pressure.len());
-        solver.set_velocity(self.velocity.clone());
+    ) -> io::Result<()> {
+        if self.velocity.len() != solver.velocity.len() {
+            return Err(invalid("checkpoint velocity length mismatch"));
+        }
+        if self.velocity_old.len() != solver.velocity.len() {
+            return Err(invalid("checkpoint velocity_old length mismatch"));
+        }
+        if self.conv_old.len() != solver.velocity.len() {
+            return Err(invalid("checkpoint conv_old length mismatch"));
+        }
+        if self.pressure.len() != solver.pressure.len() {
+            return Err(invalid("checkpoint pressure length mismatch"));
+        }
+        if let Some(v) = &vent {
+            if self.compartment_volumes.len() != v.compartments.len() {
+                return Err(invalid("checkpoint compartment count mismatch"));
+            }
+        }
+        solver.velocity = self.velocity.clone();
+        solver.velocity_old = self.velocity_old.clone();
+        solver.conv_old = self.conv_old.clone();
         solver.pressure = self.pressure.clone();
         solver.time = self.time;
         solver.dt = self.dt;
+        solver.dt_old = self.dt_old;
+        solver.step_count = usize::try_from(self.step_count)
+            .map_err(|_| invalid("checkpoint step count overflows usize"))?;
         if let Some(v) = vent {
             v.settings.delta_p = self.delta_p;
             for (c, &vol) in v.compartments.iter_mut().zip(&self.compartment_volumes) {
                 c.volume = vol;
             }
         }
+        Ok(())
     }
 
     /// Serialize.
@@ -106,22 +163,24 @@ impl Checkpoint {
         out.write_all(&self.step_count.to_le_bytes())?;
         out.write_all(&self.delta_p.to_le_bytes())?;
         write_f64s(out, &self.velocity)?;
+        write_f64s(out, &self.velocity_old)?;
+        write_f64s(out, &self.conv_old)?;
         write_f64s(out, &self.pressure)?;
         write_f64s(out, &self.compartment_volumes)?;
         Ok(())
     }
 
-    /// Deserialize; rejects wrong magic/version.
+    /// Deserialize; rejects wrong magic/version and truncated input.
     pub fn read(inp: &mut dyn Read) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         inp.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+            return Err(invalid("bad magic"));
         }
         let mut b4 = [0u8; 4];
         inp.read_exact(&mut b4)?;
         if u32::from_le_bytes(b4) != VERSION {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad version"));
+            return Err(invalid("bad version"));
         }
         let mut b8 = [0u8; 8];
         let mut f = || -> io::Result<f64> {
@@ -143,6 +202,8 @@ impl Checkpoint {
             step_count,
             delta_p,
             velocity: read_f64s(inp)?,
+            velocity_old: read_f64s(inp)?,
+            conv_old: read_f64s(inp)?,
             pressure: read_f64s(inp)?,
             compartment_volumes: read_f64s(inp)?,
         })
@@ -153,18 +214,24 @@ impl Checkpoint {
 mod tests {
     use super::*;
 
-    #[test]
-    fn roundtrip_through_bytes() {
-        let ck = Checkpoint {
+    fn sample() -> Checkpoint {
+        Checkpoint {
             time: 1.25,
             dt: 1e-4,
             dt_old: 9e-5,
             step_count: 12345,
             velocity: (0..100).map(|i| f64::from(i) * 0.1).collect(),
+            velocity_old: (0..100).map(|i| f64::from(i) * 0.09).collect(),
+            conv_old: (0..100).map(|i| f64::from(i) * -0.3).collect(),
             pressure: (0..40).map(|i| -f64::from(i)).collect(),
             delta_p: 1200.0,
             compartment_volumes: vec![1e-4, 2e-4],
-        };
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let ck = sample();
         let mut buf = Vec::new();
         ck.write(&mut buf).unwrap();
         let back = Checkpoint::read(&mut buf.as_slice()).unwrap();
@@ -173,16 +240,7 @@ mod tests {
 
     #[test]
     fn rejects_corrupt_data() {
-        let ck = Checkpoint {
-            time: 0.0,
-            dt: 1.0,
-            dt_old: 1.0,
-            step_count: 0,
-            velocity: vec![1.0],
-            pressure: vec![2.0],
-            delta_p: 0.0,
-            compartment_volumes: vec![],
-        };
+        let ck = sample();
         let mut buf = Vec::new();
         ck.write(&mut buf).unwrap();
         buf[0] = b'X';
@@ -192,5 +250,20 @@ mod tests {
         ck.write(&mut buf2).unwrap();
         buf2.truncate(buf2.len() - 4);
         assert!(Checkpoint::read(&mut buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_errors_without_huge_allocation() {
+        // magic + version + 5 scalars, then a velocity block claiming
+        // u64::MAX elements but carrying none.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        for _ in 0..5 {
+            buf.extend_from_slice(&0.0f64.to_le_bytes());
+        }
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Checkpoint::read(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

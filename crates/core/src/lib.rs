@@ -20,6 +20,6 @@ pub use operators::{
 };
 pub use recorder::{RunRecorder, RunSummary, Sample};
 pub use scalar::{advect_term, ScalarBc, ScalarTransport};
-pub use solver::{FlowParams, FlowSolver, StepInfo};
+pub use solver::{FlowParams, FlowSolver, FreshSetup, SolverSetup, StepInfo};
 pub use timeint::{BdfCoefficients, CflController};
 pub use ventilation::{Compartment, VentilationModel, VentilatorSettings, Waveform};

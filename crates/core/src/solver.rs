@@ -8,12 +8,53 @@ use crate::bc::FlowBcs;
 use crate::field::{cell_velocity_scale, n_velocity_dofs, DIM};
 use crate::operators::{convective_term, divergence, gradient, HelmholtzOperator, PenaltyOperator};
 use crate::timeint::{BdfCoefficients, CflController};
-use dgflow_fem::{LaplaceOperator, MassOperator, MatrixFree, MfParams};
+use dgflow_fem::{LaplaceOperator, Mapping, MassOperator, MatrixFree, MfParams};
 use dgflow_mesh::{Forest, Manifold};
 use dgflow_multigrid::{HybridMultigrid, MgParams, MixedPrecisionMg};
 use dgflow_solvers::{cg_solve, JacobiPreconditioner, Preconditioner};
+use dgflow_tensor::{NodeSet, ShapeInfo1D};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Memoization hooks for the expensive, shareable parts of solver
+/// construction: the polynomial geometry sampling (per mesh and mapping
+/// degree) and the 1-D shape tables (per degree/node-set/quadrature).
+///
+/// A campaign runtime implements this once and hands the same cache to
+/// every [`FlowSolver::with_setup`] call, so a degree sweep over one mesh
+/// re-derives neither the metric terms nor the Lagrange tables; the
+/// default [`FreshSetup`] builds everything from scratch.
+pub trait SolverSetup {
+    /// Geometry sampling for `forest` at polynomial `mapping_degree`.
+    fn mapping(
+        &self,
+        forest: &Forest,
+        manifold: &dyn Manifold,
+        mapping_degree: usize,
+    ) -> Arc<Mapping>;
+
+    /// 1-D shape tables for one `(degree, node set, quadrature)` triple.
+    fn shape(&self, degree: usize, node_set: NodeSet, n_q: usize) -> Arc<ShapeInfo1D<f64>>;
+}
+
+/// The no-cache [`SolverSetup`]: every request is built fresh.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreshSetup;
+
+impl SolverSetup for FreshSetup {
+    fn mapping(
+        &self,
+        forest: &Forest,
+        manifold: &dyn Manifold,
+        mapping_degree: usize,
+    ) -> Arc<Mapping> {
+        Arc::new(Mapping::build(forest, manifold, mapping_degree))
+    }
+
+    fn shape(&self, degree: usize, node_set: NodeSet, n_q: usize) -> Arc<ShapeInfo1D<f64>> {
+        Arc::new(ShapeInfo1D::new(degree, node_set, n_q))
+    }
+}
 
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
@@ -73,8 +114,16 @@ pub struct StepInfo {
     pub penalty_iterations: usize,
     /// Wall time of the whole step (seconds).
     pub wall_seconds: f64,
+    /// Wall time spent in the explicit convective step.
+    pub convective_seconds: f64,
     /// Wall time spent in the pressure solve.
     pub pressure_seconds: f64,
+    /// Wall time spent in the projection step.
+    pub projection_seconds: f64,
+    /// Wall time spent in the three viscous component solves.
+    pub viscous_seconds: f64,
+    /// Wall time spent in the divergence/continuity penalty solve.
+    pub penalty_seconds: f64,
 }
 
 /// The incompressible flow solver.
@@ -93,15 +142,15 @@ pub struct FlowSolver<const L: usize> {
     inv_mass_scalar: Vec<f64>,
     /// Velocity at `t^n` / `t^{n-1}`.
     pub velocity: Vec<f64>,
-    velocity_old: Vec<f64>,
+    pub(crate) velocity_old: Vec<f64>,
     /// Pressure at `t^n` (kinematic, p/ρ).
     pub pressure: Vec<f64>,
-    conv_old: Vec<f64>,
+    pub(crate) conv_old: Vec<f64>,
     h_cell: Vec<f64>,
     cfl: CflController,
     /// Current Δt (set before the first step from the initial field).
     pub dt: f64,
-    dt_old: f64,
+    pub(crate) dt_old: f64,
     /// Simulated time.
     pub time: f64,
     /// Steps taken.
@@ -111,23 +160,43 @@ pub struct FlowSolver<const L: usize> {
 impl<const L: usize> FlowSolver<L> {
     /// Build all operators on the given mesh.
     pub fn new(forest: &Forest, manifold: &dyn Manifold, params: FlowParams, bcs: FlowBcs) -> Self {
+        Self::with_setup(forest, manifold, params, bcs, &FreshSetup)
+    }
+
+    /// Build all operators, fetching geometry sampling and 1-D shape
+    /// tables through a [`SolverSetup`] cache so identical pieces are
+    /// shared across the solvers of a parameter sweep.
+    pub fn with_setup(
+        forest: &Forest,
+        manifold: &dyn Manifold,
+        params: FlowParams,
+        bcs: FlowBcs,
+        setup: &dyn SolverSetup,
+    ) -> Self {
         assert!(
             params.degree >= 2,
             "velocity degree must be ≥ 2 (pressure k−1 ≥ 1)"
         );
-        let mf_u = Arc::new(MatrixFree::<f64, L>::new(
+        let mfp_u = MfParams::dg(params.degree);
+        let mfp_p = MfParams {
+            degree: params.degree - 1,
+            n_q: params.degree + 1,
+            ..MfParams::dg(params.degree)
+        };
+        let mapping = setup.mapping(forest, manifold, mfp_u.mapping_degree);
+        let shape_u = setup.shape(mfp_u.degree, mfp_u.node_set, mfp_u.n_q);
+        let shape_p = setup.shape(mfp_p.degree, mfp_p.node_set, mfp_p.n_q);
+        let mf_u = Arc::new(MatrixFree::<f64, L>::with_parts(
             forest,
-            manifold,
-            MfParams::dg(params.degree),
+            mapping,
+            (*shape_u).clone(),
+            mfp_u,
         ));
-        let mf_p = Arc::new(MatrixFree::<f64, L>::with_mapping(
+        let mf_p = Arc::new(MatrixFree::<f64, L>::with_parts(
             forest,
             mf_u.mapping.clone(),
-            MfParams {
-                degree: params.degree - 1,
-                n_q: params.degree + 1,
-                ..MfParams::dg(params.degree)
-            },
+            (*shape_p).clone(),
+            mfp_p,
         ));
         let visc_lap = LaplaceOperator::with_bc(mf_u.clone(), bcs.velocity_bc());
         let mass_w: Vec<f64> = MassOperator::new(&mf_u).weights();
@@ -214,6 +283,7 @@ impl<const L: usize> FlowSolver<L> {
         let gamma_dt = coeff.gamma0 / dt;
 
         // (1) explicit convective step
+        let tc = Instant::now();
         let mut conv = vec![0.0; n_u];
         convective_term(&self.mf_u, &self.bcs, &self.velocity, &mut conv);
         let mut u_hat = vec![0.0; n_u];
@@ -230,6 +300,8 @@ impl<const L: usize> FlowSolver<L> {
                     / coeff.gamma0;
             }
         }
+
+        let convective_seconds = tc.elapsed().as_secs_f64();
 
         // (2) pressure Poisson step
         let tp = Instant::now();
@@ -261,14 +333,17 @@ impl<const L: usize> FlowSolver<L> {
         let pressure_seconds = tp.elapsed().as_secs_f64();
 
         // (3) projection
+        let tg = Instant::now();
         let mut gp = vec![0.0; n_u];
         gradient(&self.mf_u, &self.mf_p, &self.bcs, &self.pressure, &mut gp);
         self.apply_inv_mass_vec(&mut gp);
         for i in 0..n_u {
             u_hat[i] -= dt / coeff.gamma0 * gp[i];
         }
+        let projection_seconds = tg.elapsed().as_secs_f64();
 
         // (4) viscous step, component by component
+        let tv = Instant::now();
         self.helmholtz.set_factor(gamma_dt);
         let hh_diag = dgflow_solvers::LinearOperator::diagonal(&self.helmholtz);
         let hh_jacobi = JacobiPreconditioner::new(hh_diag);
@@ -298,7 +373,10 @@ impl<const L: usize> FlowSolver<L> {
             }
         }
 
+        let viscous_seconds = tv.elapsed().as_secs_f64();
+
         // (5) penalty step
+        let tpen = Instant::now();
         let u_scale = cell_velocity_scale(&self.mf_u, &u_star);
         let pen = PenaltyOperator::new(
             &self.mf_u,
@@ -330,6 +408,7 @@ impl<const L: usize> FlowSolver<L> {
             self.params.rel_tol,
             500,
         );
+        let penalty_seconds = tpen.elapsed().as_secs_f64();
 
         // rotate state, adapt Δt
         self.velocity_old = std::mem::replace(&mut self.velocity, u_new);
@@ -346,7 +425,11 @@ impl<const L: usize> FlowSolver<L> {
             viscous_iterations,
             penalty_iterations: pres_pen.iterations,
             wall_seconds: t0.elapsed().as_secs_f64(),
+            convective_seconds,
             pressure_seconds,
+            projection_seconds,
+            viscous_seconds,
+            penalty_seconds,
         }
     }
 

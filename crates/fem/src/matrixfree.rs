@@ -88,8 +88,33 @@ impl<T: Real, const L: usize> MatrixFree<T, L> {
     /// precision of a mixed-precision pair, or another degree of the
     /// p-multigrid hierarchy with the same mapping degree).
     pub fn with_mapping(forest: &Forest, mapping: Arc<Mapping>, params: MfParams) -> Self {
-        assert_eq!(mapping.degree, params.mapping_degree);
         let shape: ShapeInfo1D<T> = ShapeInfo1D::new(params.degree, params.node_set, params.n_q);
+        Self::with_parts(forest, mapping, shape, params)
+    }
+
+    /// Build reusing both an existing geometry sampling and precomputed
+    /// 1-D shape tables — the entry point for campaign-level setup caches
+    /// that memoize `(degree, node set, quadrature)` tables across many
+    /// solver instances.
+    pub fn with_parts(
+        forest: &Forest,
+        mapping: Arc<Mapping>,
+        shape: ShapeInfo1D<T>,
+        params: MfParams,
+    ) -> Self {
+        assert_eq!(mapping.degree, params.mapping_degree);
+        assert_eq!(
+            shape.degree, params.degree,
+            "shape tables built for another degree"
+        );
+        assert_eq!(
+            shape.n_q, params.n_q,
+            "shape tables built for another quadrature"
+        );
+        assert_eq!(
+            shape.node_set, params.node_set,
+            "shape tables built for another node set"
+        );
         let n_cells = forest.n_active();
         let cell_batches = CellBatch::<L>::batch_all(n_cells);
         let faces = forest.build_faces();

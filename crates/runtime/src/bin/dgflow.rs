@@ -1,0 +1,173 @@
+//! `dgflow` — the campaign CLI.
+//!
+//! ```text
+//! dgflow run      <campaign.toml>        start a fresh campaign
+//! dgflow resume   <campaign.toml|dir>    continue a killed/cancelled one
+//! dgflow validate <campaign.toml>        parse + validate, print the plan
+//! dgflow status   <campaign.toml|dir>    print the manifest
+//! ```
+//!
+//! Exit codes: `0` success (for `run`/`resume`: every case completed),
+//! `1` the campaign ran but at least one case did not complete, `2`
+//! usage/spec/IO errors.
+
+use dgflow_comm::CancelToken;
+use dgflow_runtime::manifest::Manifest;
+use dgflow_runtime::{run_campaign, CampaignSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dgflow <run|resume|validate|status> <campaign.toml|output-dir>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, target) = match args.as_slice() {
+        [cmd, target] => (cmd.as_str(), PathBuf::from(target)),
+        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd {
+        "run" => campaign_cmd(&target, false),
+        "resume" => campaign_cmd(&target, true),
+        "validate" => validate(&target),
+        "status" => status(&target),
+        other => {
+            eprintln!("dgflow: unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Locate the spec file: either the argument itself, or
+/// `<dir>/campaign.toml` when the argument is an output directory.
+fn spec_path(target: &Path) -> Result<PathBuf, String> {
+    if target.is_dir() {
+        let inner = target.join("campaign.toml");
+        if inner.is_file() {
+            return Ok(inner);
+        }
+        return Err(format!(
+            "{} is a directory without a campaign.toml",
+            target.display()
+        ));
+    }
+    if target.is_file() {
+        return Ok(target.to_path_buf());
+    }
+    Err(format!("{}: no such file or directory", target.display()))
+}
+
+fn load_spec(target: &Path) -> Result<(CampaignSpec, String), String> {
+    let path = spec_path(target)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let spec =
+        CampaignSpec::parse_str(&text, &path.display().to_string()).map_err(|e| e.to_string())?;
+    Ok((spec, text))
+}
+
+fn campaign_cmd(target: &Path, resume: bool) -> ExitCode {
+    let (spec, text) = match load_spec(target) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{} campaign `{}`: {} case(s) -> {}",
+        if resume { "resuming" } else { "running" },
+        spec.name,
+        spec.cases.len(),
+        spec.output.display()
+    );
+    let cancel = CancelToken::default();
+    match run_campaign(&spec, &text, resume, &cancel) {
+        Ok(outcome) => {
+            print!("{}", outcome.table);
+            if outcome.manifest.all_completed() {
+                println!("campaign `{}` completed", spec.name);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "campaign `{}` incomplete — `dgflow resume {}` continues it",
+                    spec.name,
+                    spec.output.display()
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("dgflow: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn validate(target: &Path) -> ExitCode {
+    match load_spec(target) {
+        Ok((spec, _)) => {
+            println!(
+                "campaign `{}`: {} case(s), output {}, checkpoint every {} steps, \
+                 max_parallel {}",
+                spec.name,
+                spec.cases.len(),
+                spec.output.display(),
+                spec.checkpoint_every,
+                spec.max_parallel
+            );
+            for c in &spec.cases {
+                println!(
+                    "  {:<20} {:?} g={} refine={} k={} steps={}",
+                    c.name, c.mesh, c.generations, c.refine, c.degree, c.steps
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn status(target: &Path) -> ExitCode {
+    // Accept the output dir directly, or derive it from the spec.
+    let dir = if target.is_dir() && Manifest::path_in(target).is_file() {
+        target.to_path_buf()
+    } else {
+        match load_spec(target) {
+            Ok((spec, _)) => spec.output,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match Manifest::load(&dir) {
+        Ok(m) => {
+            println!("campaign `{}` ({})", m.campaign, dir.display());
+            for c in &m.cases {
+                println!(
+                    "  {:<20} {:<10} {:>6}/{:<6} {:>9.2}s {}",
+                    c.name,
+                    c.status.as_str(),
+                    c.steps_done,
+                    c.steps_target,
+                    c.wall_seconds,
+                    c.error.as_deref().unwrap_or("")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dgflow: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

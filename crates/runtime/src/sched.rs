@@ -1,0 +1,282 @@
+//! The campaign scheduler: a bounded job queue drained by a small team of
+//! dedicated OS threads, with deterministic result ordering and graceful
+//! cancellation.
+//!
+//! # Why dedicated threads and not [`dgflow_comm::ThreadPool`] tasks?
+//!
+//! Each case *internally* runs its DG kernels on the shared global
+//! [`dgflow_comm::ThreadPool`] (via `parallel_for_chunks` inside the
+//! solver). The pool's `run` is a caller-participates construct with an
+//! unconditional join barrier; issuing a nested `run` from inside a pool
+//! task deadlocks on a circular wait between the two barriers. Case-level
+//! concurrency therefore lives one layer *above* the pool: each scheduler
+//! worker is a plain `std::thread` that calls into solvers which in turn
+//! share the pool. `max_parallel = 1` (the default) gives each case the
+//! whole pool; higher values trade per-case kernel parallelism for
+//! campaign throughput on small cases.
+//!
+//! # Determinism
+//!
+//! Jobs enter the queue in submission order and are popped FIFO, so with
+//! `max_parallel = 1` the execution order is exactly the spec's case
+//! order. Results are always delivered in submission order regardless of
+//! which worker finished first.
+//!
+//! # Cancellation
+//!
+//! A [`CancelToken`] is checked at two levels: the dispatcher stops
+//! feeding the queue, and every job receives the token so a running case
+//! can stop at the next step boundary. Cancelled/unreached jobs yield
+//! `None` in the result vector; finished work is never discarded.
+
+use dgflow_comm::CancelToken;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// A multi-producer multi-consumer FIFO with a hard capacity bound.
+///
+/// `push` blocks while the queue is full (backpressure, so a huge sweep
+/// never materializes all its job state at once); `pop` blocks while it
+/// is empty and open. Closing wakes everyone: blocked pushes fail,
+/// blocked pops drain what is left and then return `None`.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocking push. Returns `false` (dropping `item`) if the queue was
+    /// closed before space became available.
+    pub fn push(&self, item: T) -> bool {
+        let mut s = self.state.lock();
+        while s.items.len() >= self.cap && !s.closed {
+            self.not_full.wait(&mut s);
+        }
+        if s.closed {
+            return false;
+        }
+        s.items.push_back(item);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocking pop. Returns `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut s);
+        }
+    }
+
+    /// Close the queue, waking all blocked producers and consumers.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Capacity of the scheduler's job queue relative to the worker count.
+/// Small on purpose: jobs carry case state, and backpressure (not
+/// buffering) is the point of a bounded queue.
+const QUEUE_SLACK: usize = 2;
+
+/// Run `jobs` on `max_parallel` dedicated worker threads.
+///
+/// Each job receives the [`CancelToken`] and its submission index.
+/// Returns one slot per job, in submission order: `Some(R)` if the job
+/// ran to completion, `None` if cancellation kept it from starting.
+/// Panics inside a job propagate after all workers have drained (the
+/// queue is closed first so no further jobs start).
+pub fn run_jobs<R, F>(jobs: Vec<F>, max_parallel: usize, cancel: &CancelToken) -> Vec<Option<R>>
+where
+    R: Send,
+    F: FnOnce(&CancelToken) -> R + Send,
+{
+    let n = jobs.len();
+    let workers = max_parallel.max(1).min(n.max(1));
+    let queue: BoundedQueue<(usize, F)> = BoundedQueue::new(workers * QUEUE_SLACK);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let queue = &queue;
+            let results = &results;
+            handles.push(scope.spawn(move || {
+                while let Some((idx, job)) = queue.pop() {
+                    if cancel.is_cancelled() {
+                        // Leave the slot `None`; keep draining so closed
+                        // producers are not left blocked on a full queue.
+                        continue;
+                    }
+                    let out = job(cancel);
+                    *results[idx].lock() = Some(out);
+                }
+            }));
+        }
+
+        // Feed in submission order; stop (and let workers drain) as soon
+        // as cancellation is observed.
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if cancel.is_cancelled() {
+                break;
+            }
+            if !queue.push((idx, job)) {
+                break;
+            }
+        }
+        queue.close();
+
+        // Join explicitly so a worker panic re-raises here (the scope
+        // would also propagate it, but joining keeps the close→drain
+        // ordering obvious).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results.into_iter().map(Mutex::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let cancel = CancelToken::default();
+        let jobs: Vec<_> = (0..16)
+            .map(|i| {
+                move |_: &CancelToken| {
+                    // Stagger so completion order differs from submission
+                    // order under parallel workers.
+                    std::thread::sleep(std::time::Duration::from_millis(((16 - i) % 4) as u64));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs, 4, &cancel);
+        let got: Vec<usize> = out.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_executes_in_spec_order() {
+        let cancel = CancelToken::default();
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                let order = order.clone();
+                move |_: &CancelToken| {
+                    order.lock().push(i);
+                    i
+                }
+            })
+            .collect();
+        run_jobs(jobs, 1, &cancel);
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_unstarted_jobs_and_keeps_finished_work() {
+        let cancel = CancelToken::default();
+        let started = std::sync::Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..32)
+            .map(|i| {
+                let cancel = cancel.clone();
+                let started = started.clone();
+                move |_: &CancelToken| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    if i == 2 {
+                        cancel.cancel();
+                    }
+                    i
+                }
+            })
+            .collect();
+        let out = run_jobs(jobs, 1, &cancel);
+        // Job 2 cancelled the campaign; with one worker jobs 0..=2 ran
+        // (plus at most the handful already sitting in the bounded queue)
+        // and the tail never started.
+        assert_eq!(out[0], Some(0));
+        assert_eq!(out[2], Some(2));
+        assert_eq!(out[31], None);
+        let ran = out.iter().filter(|r| r.is_some()).count();
+        assert!((3..=3 + QUEUE_SLACK).contains(&ran), "ran = {ran}");
+        assert_eq!(started.load(Ordering::SeqCst), ran);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let q = std::sync::Arc::new(BoundedQueue::new(2));
+        q.push(1);
+        q.push(2);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            // Blocks until the consumer pops.
+            q2.push(3);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "third push must be blocked at cap");
+        assert_eq!(q.pop(), Some(1));
+        h.join().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert!(!q.push(4));
+    }
+
+    #[test]
+    fn close_unblocks_empty_pop() {
+        let q = std::sync::Arc::new(BoundedQueue::<usize>::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert!(q.is_empty());
+    }
+}

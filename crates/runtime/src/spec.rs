@@ -1,0 +1,581 @@
+//! The declarative campaign spec: the TOML schema, its validated typed
+//! form, and the parameter-sweep expansion.
+//!
+//! A campaign file holds one `[campaign]` table and one or more
+//! `[[case]]` tables. A case names a mesh family (`"duct"` or `"lung"`),
+//! the discretization (`degree`, or a `degrees` sweep list), the mesh
+//! resolution (`refine` for ducts, `generations` — scalar or sweep list —
+//! for lungs), the time integration horizon (`steps`), solver tolerances,
+//! and the output cadence. Sweep lists expand into the cross product of
+//! concrete cases (`name-g4-k3`, …), which is how the paper's
+//! generations × degree campaigns are written as a handful of lines.
+//!
+//! Every validation failure points at the offending line and column of
+//! the source file; unknown keys are rejected rather than ignored, so a
+//! typo like `degee = 3` cannot silently run defaults.
+
+use crate::toml::{parse, KeyVal, Span, SpecError, TableBlock, Value};
+use std::path::PathBuf;
+
+/// Mesh family of a case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshKind {
+    /// Pressure-driven square duct (validation workload).
+    Duct,
+    /// Airway tree of `generations` generations with R-C outlet
+    /// compartments and a pressure-controlled ventilator.
+    Lung,
+}
+
+impl MeshKind {
+    /// Spec-file spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MeshKind::Duct => "duct",
+            MeshKind::Lung => "lung",
+        }
+    }
+}
+
+/// One fully-expanded, concrete case.
+#[derive(Clone, Debug)]
+pub struct CaseSpec {
+    /// Unique case name (sweep suffixes applied).
+    pub name: String,
+    /// Mesh family.
+    pub mesh: MeshKind,
+    /// Airway generations (lung meshes).
+    pub generations: usize,
+    /// Global refinements (duct meshes).
+    pub refine: usize,
+    /// Velocity polynomial degree `k` (pressure runs at `k−1`).
+    pub degree: usize,
+    /// Time steps to take.
+    pub steps: usize,
+    /// Largest admissible Δt.
+    pub dt_max: f64,
+    /// Relative tolerance of the linear sub-solves.
+    pub rel_tol: f64,
+    /// Courant number.
+    pub cfl: f64,
+    /// Kinematic viscosity ν (m²/s).
+    pub viscosity: f64,
+    /// Hybrid-multigrid pressure preconditioner (vs point-Jacobi).
+    pub multigrid: bool,
+    /// Driving pressure drop for duct cases (kinematic, p/ρ).
+    pub pressure_drop: f64,
+    /// Emit a telemetry step record every this many steps.
+    pub telemetry_every: usize,
+}
+
+/// A validated campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name (used in the manifest).
+    pub name: String,
+    /// Output directory for manifest, checkpoints, and telemetry.
+    pub output: PathBuf,
+    /// Write a checkpoint every this many steps per case.
+    pub checkpoint_every: usize,
+    /// Cases run concurrently (dedicated scheduler threads; the DG
+    /// kernels inside each case share the process-wide thread pool).
+    pub max_parallel: usize,
+    /// Expanded, concrete cases in deterministic order.
+    pub cases: Vec<CaseSpec>,
+}
+
+/// `usize` from an integer value.
+fn as_usize(kv: &KeyVal, v: &Value, span: Span) -> Result<usize, SpecError> {
+    match v {
+        Value::Int(i) if *i >= 0 => Ok(*i as usize),
+        Value::Int(_) => Err(SpecError::at(
+            format!("key `{}` must be non-negative", kv.key),
+            span,
+            &kv.line_text,
+        )),
+        other => Err(SpecError::at(
+            format!(
+                "key `{}` expects an integer, found {}",
+                kv.key,
+                other.type_name()
+            ),
+            span,
+            &kv.line_text,
+        )),
+    }
+}
+
+fn as_f64(kv: &KeyVal) -> Result<f64, SpecError> {
+    match &kv.val {
+        Value::Float(x) => Ok(*x),
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(SpecError::at(
+            format!(
+                "key `{}` expects a number, found {}",
+                kv.key,
+                other.type_name()
+            ),
+            kv.val_span,
+            &kv.line_text,
+        )),
+    }
+}
+
+fn as_bool(kv: &KeyVal) -> Result<bool, SpecError> {
+    match &kv.val {
+        Value::Bool(b) => Ok(*b),
+        other => Err(SpecError::at(
+            format!(
+                "key `{}` expects a boolean, found {}",
+                kv.key,
+                other.type_name()
+            ),
+            kv.val_span,
+            &kv.line_text,
+        )),
+    }
+}
+
+fn as_str(kv: &KeyVal) -> Result<String, SpecError> {
+    match &kv.val {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(SpecError::at(
+            format!(
+                "key `{}` expects a string, found {}",
+                kv.key,
+                other.type_name()
+            ),
+            kv.val_span,
+            &kv.line_text,
+        )),
+    }
+}
+
+/// Scalar-or-list sweep values: `degree = 3` or `degrees = [2, 3, 4]`.
+fn as_usize_list(kv: &KeyVal) -> Result<Vec<usize>, SpecError> {
+    match &kv.val {
+        Value::Array(items) => {
+            if items.is_empty() {
+                return Err(SpecError::at(
+                    format!("sweep list `{}` must not be empty", kv.key),
+                    kv.val_span,
+                    &kv.line_text,
+                ));
+            }
+            items
+                .iter()
+                .map(|(span, v)| as_usize(kv, v, *span))
+                .collect()
+        }
+        v => Ok(vec![as_usize(kv, v, kv.val_span)?]),
+    }
+}
+
+fn err_unknown(kv: &KeyVal, table: &str, known: &[&str]) -> SpecError {
+    SpecError::at(
+        format!(
+            "unknown key `{}` in [{table}] (expected one of: {})",
+            kv.key,
+            known.join(", ")
+        ),
+        kv.key_span,
+        &kv.line_text,
+    )
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+const CAMPAIGN_KEYS: &[&str] = &["name", "output", "checkpoint_every", "max_parallel"];
+const CASE_KEYS: &[&str] = &[
+    "name",
+    "mesh",
+    "generations",
+    "refine",
+    "degree",
+    "degrees",
+    "steps",
+    "dt_max",
+    "rel_tol",
+    "cfl",
+    "viscosity",
+    "multigrid",
+    "pressure_drop",
+    "telemetry_every",
+];
+
+impl CampaignSpec {
+    /// Parse and validate a campaign from TOML source; `file` labels
+    /// error messages.
+    pub fn parse_str(src: &str, file: &str) -> Result<Self, SpecError> {
+        Self::parse_inner(src).map_err(|e| e.in_file(file))
+    }
+
+    fn parse_inner(src: &str) -> Result<Self, SpecError> {
+        let blocks = parse(src)?;
+        let mut name = String::new();
+        let mut output: Option<PathBuf> = None;
+        let mut checkpoint_every = 20usize;
+        let mut max_parallel = 1usize;
+        let mut seen_campaign = false;
+        let mut cases: Vec<CaseSpec> = Vec::new();
+
+        if !blocks.iter().any(|b| b.name == "campaign" && !b.is_array) {
+            return Err(SpecError::plain("spec has no [campaign] table"));
+        }
+
+        for block in &blocks {
+            match (block.name.as_str(), block.is_array) {
+                ("", false) => {
+                    if let Some(kv) = block.entries.first() {
+                        return Err(SpecError::at(
+                            format!(
+                                "top-level key `{}` outside any table; put it under [campaign]",
+                                kv.key
+                            ),
+                            kv.key_span,
+                            &kv.line_text,
+                        ));
+                    }
+                }
+                ("campaign", false) => {
+                    if seen_campaign {
+                        return Err(SpecError::at(
+                            "duplicate [campaign] table",
+                            block.span,
+                            &block.line_text,
+                        ));
+                    }
+                    seen_campaign = true;
+                    for kv in &block.entries {
+                        match kv.key.as_str() {
+                            "name" => name = as_str(kv)?,
+                            "output" => output = Some(PathBuf::from(as_str(kv)?)),
+                            "checkpoint_every" => {
+                                checkpoint_every = as_usize(kv, &kv.val, kv.val_span)?;
+                            }
+                            "max_parallel" => {
+                                max_parallel = as_usize(kv, &kv.val, kv.val_span)?;
+                            }
+                            _ => return Err(err_unknown(kv, "campaign", CAMPAIGN_KEYS)),
+                        }
+                    }
+                    if name.is_empty() {
+                        return Err(SpecError::at(
+                            "[campaign] needs a non-empty `name`",
+                            block.span,
+                            &block.line_text,
+                        ));
+                    }
+                    if !valid_name(&name) {
+                        return Err(SpecError::at(
+                            format!("campaign name `{name}` must be filesystem-safe (alphanumeric, `-`, `_`, `.`)"),
+                            block.span,
+                            &block.line_text,
+                        ));
+                    }
+                    if checkpoint_every == 0 {
+                        return Err(SpecError::at(
+                            "`checkpoint_every` must be ≥ 1",
+                            block.span,
+                            &block.line_text,
+                        ));
+                    }
+                    if max_parallel == 0 {
+                        return Err(SpecError::at(
+                            "`max_parallel` must be ≥ 1",
+                            block.span,
+                            &block.line_text,
+                        ));
+                    }
+                }
+                ("case", true) => {
+                    cases.extend(parse_case(block)?);
+                }
+                ("campaign", true) => {
+                    return Err(SpecError::at(
+                        "[campaign] is a single table, not [[campaign]]",
+                        block.span,
+                        &block.line_text,
+                    ));
+                }
+                ("case", false) => {
+                    return Err(SpecError::at(
+                        "cases are an array of tables: write [[case]]",
+                        block.span,
+                        &block.line_text,
+                    ));
+                }
+                (other, _) => {
+                    return Err(SpecError::at(
+                        format!("unknown table `[{other}]` (expected [campaign] or [[case]])"),
+                        block.span,
+                        &block.line_text,
+                    ));
+                }
+            }
+        }
+        if !seen_campaign {
+            return Err(SpecError::plain("spec has no [campaign] table"));
+        }
+        if cases.is_empty() {
+            return Err(SpecError::plain("spec defines no [[case]]"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &cases {
+            if !seen.insert(c.name.clone()) {
+                return Err(SpecError::plain(format!(
+                    "duplicate case name `{}` after sweep expansion",
+                    c.name
+                )));
+            }
+        }
+        let output = output.unwrap_or_else(|| PathBuf::from("results").join(&name));
+        Ok(Self {
+            name,
+            output,
+            checkpoint_every,
+            max_parallel,
+            cases,
+        })
+    }
+}
+
+/// Parse one `[[case]]` block, expanding sweep lists into the cross
+/// product of concrete cases.
+fn parse_case(block: &TableBlock) -> Result<Vec<CaseSpec>, SpecError> {
+    let mut name = String::new();
+    let mut mesh = None;
+    let mut generations: Vec<usize> = vec![2];
+    let mut gen_swept = false;
+    let mut refine = 1usize;
+    let mut degrees: Vec<usize> = vec![3];
+    let mut deg_swept = false;
+    let mut steps = 0usize;
+    let mut dt_max = 2e-4;
+    let mut rel_tol = 1e-3;
+    let mut cfl = 0.4;
+    let mut viscosity = 1.7e-5;
+    let mut multigrid = true;
+    let mut pressure_drop = 0.1;
+    let mut telemetry_every = 1usize;
+
+    for kv in &block.entries {
+        match kv.key.as_str() {
+            "name" => name = as_str(kv)?,
+            "mesh" => {
+                mesh = Some(match as_str(kv)?.as_str() {
+                    "duct" => MeshKind::Duct,
+                    "lung" => MeshKind::Lung,
+                    other => {
+                        return Err(SpecError::at(
+                            format!(
+                                "unknown mesh family `{other}` (expected \"duct\" or \"lung\")"
+                            ),
+                            kv.val_span,
+                            &kv.line_text,
+                        ));
+                    }
+                });
+            }
+            "generations" => {
+                generations = as_usize_list(kv)?;
+                gen_swept = matches!(kv.val, Value::Array(_));
+            }
+            "refine" => refine = as_usize(kv, &kv.val, kv.val_span)?,
+            "degree" | "degrees" => {
+                degrees = as_usize_list(kv)?;
+                deg_swept = matches!(kv.val, Value::Array(_));
+                for (i, &k) in degrees.iter().enumerate() {
+                    if !(2..=7).contains(&k) {
+                        let span = match &kv.val {
+                            Value::Array(items) => items[i].0,
+                            _ => kv.val_span,
+                        };
+                        return Err(SpecError::at(
+                            format!("degree {k} out of range (velocity degree must be 2..=7)"),
+                            span,
+                            &kv.line_text,
+                        ));
+                    }
+                }
+            }
+            "steps" => steps = as_usize(kv, &kv.val, kv.val_span)?,
+            "dt_max" => dt_max = as_f64(kv)?,
+            "rel_tol" => rel_tol = as_f64(kv)?,
+            "cfl" => cfl = as_f64(kv)?,
+            "viscosity" => viscosity = as_f64(kv)?,
+            "multigrid" => multigrid = as_bool(kv)?,
+            "pressure_drop" => pressure_drop = as_f64(kv)?,
+            "telemetry_every" => telemetry_every = as_usize(kv, &kv.val, kv.val_span)?,
+            _ => return Err(err_unknown(kv, "[case]", CASE_KEYS)),
+        }
+    }
+    let err_at = |msg: String| SpecError::at(msg, block.span, &block.line_text);
+    if name.is_empty() {
+        return Err(err_at("[[case]] needs a non-empty `name`".to_string()));
+    }
+    if !valid_name(&name) {
+        return Err(err_at(format!(
+            "case name `{name}` must be filesystem-safe (alphanumeric, `-`, `_`, `.`)"
+        )));
+    }
+    let Some(mesh) = mesh else {
+        return Err(err_at(format!(
+            "case `{name}` needs `mesh = \"duct\"` or `mesh = \"lung\"`"
+        )));
+    };
+    if steps == 0 {
+        return Err(err_at(format!("case `{name}` needs `steps` ≥ 1")));
+    }
+    if telemetry_every == 0 {
+        return Err(err_at(format!(
+            "case `{name}`: `telemetry_every` must be ≥ 1"
+        )));
+    }
+    for check in [
+        ("dt_max", dt_max),
+        ("rel_tol", rel_tol),
+        ("cfl", cfl),
+        ("viscosity", viscosity),
+    ] {
+        if !(check.1 > 0.0 && check.1.is_finite()) {
+            return Err(err_at(format!(
+                "case `{name}`: `{}` must be a positive finite number",
+                check.0
+            )));
+        }
+    }
+    if mesh == MeshKind::Lung {
+        for &g in &generations {
+            if g > 8 {
+                return Err(err_at(format!(
+                    "case `{name}`: generations {g} exceeds the supported range (0..=8)"
+                )));
+            }
+        }
+    }
+    let gens: Vec<usize> = if mesh == MeshKind::Lung {
+        generations
+    } else {
+        vec![0]
+    };
+    let mut out = Vec::new();
+    for &g in &gens {
+        for &k in &degrees {
+            let mut full = name.clone();
+            if gen_swept {
+                full.push_str(&format!("-g{g}"));
+            }
+            if deg_swept {
+                full.push_str(&format!("-k{k}"));
+            }
+            out.push(CaseSpec {
+                name: full,
+                mesh,
+                generations: g,
+                refine,
+                degree: k,
+                steps,
+                dt_max,
+                rel_tol,
+                cfl,
+                viscosity,
+                multigrid,
+                pressure_drop,
+                telemetry_every,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+[campaign]
+name = "toy"
+output = "results/toy"
+checkpoint_every = 10
+
+[[case]]
+name = "duct"
+mesh = "duct"
+degrees = [2, 3]
+steps = 5
+viscosity = 0.5
+multigrid = false
+
+[[case]]
+name = "lung"
+mesh = "lung"
+generations = [1, 2]
+degree = 2
+steps = 4
+"#;
+
+    #[test]
+    fn expands_sweeps_into_cross_product() {
+        let spec = CampaignSpec::parse_str(GOOD, "good.toml").unwrap();
+        assert_eq!(spec.name, "toy");
+        assert_eq!(spec.checkpoint_every, 10);
+        let names: Vec<&str> = spec.cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["duct-k2", "duct-k3", "lung-g1", "lung-g2"]);
+        assert_eq!(spec.cases[0].mesh, MeshKind::Duct);
+        assert_eq!(spec.cases[3].generations, 2);
+        assert!(!spec.cases[0].multigrid);
+        assert!(spec.cases[2].multigrid);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_span() {
+        let src = "[campaign]\nname = \"x\"\n[[case]]\nname = \"a\"\nmesh = \"duct\"\ndegee = 3\nsteps = 1\n";
+        let err = CampaignSpec::parse_str(src, "bad.toml").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("unknown key `degee`"), "{text}");
+        assert!(text.contains("bad.toml:6:1"), "{text}");
+    }
+
+    #[test]
+    fn degree_range_is_enforced_per_sweep_entry() {
+        let src =
+            "[campaign]\nname = \"x\"\n[[case]]\nname = \"a\"\nmesh = \"duct\"\ndegrees = [2, 9]\nsteps = 1\n";
+        let err = CampaignSpec::parse_str(src, "bad.toml").unwrap_err();
+        assert!(err.to_string().contains("degree 9 out of range"));
+    }
+
+    #[test]
+    fn duplicate_names_after_expansion_are_rejected() {
+        let src = "[campaign]\nname = \"x\"\n\
+                   [[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 2\nsteps = 1\n\
+                   [[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 3\nsteps = 1\n";
+        let err = CampaignSpec::parse_str(src, "dup.toml").unwrap_err();
+        assert!(err.to_string().contains("duplicate case name `a`"));
+    }
+
+    #[test]
+    fn missing_required_keys_are_reported() {
+        assert!(CampaignSpec::parse_str("[[case]]\nname=\"a\"\n", "f")
+            .unwrap_err()
+            .to_string()
+            .contains("no [campaign]"));
+        let err = CampaignSpec::parse_str(
+            "[campaign]\nname=\"x\"\n[[case]]\nname=\"a\"\nmesh=\"duct\"\n",
+            "f",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("`steps`"));
+    }
+
+    #[test]
+    fn default_output_derives_from_name() {
+        let src = "[campaign]\nname = \"x\"\n[[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 2\nsteps = 1\n";
+        let spec = CampaignSpec::parse_str(src, "f").unwrap();
+        assert_eq!(spec.output, PathBuf::from("results").join("x"));
+    }
+}

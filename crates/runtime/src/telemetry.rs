@@ -1,0 +1,299 @@
+//! Structured telemetry: per-kernel wall time and DoF throughput,
+//! emitted as JSONL per case plus a campaign summary table.
+//!
+//! Every record is one JSON object per line with a `type` tag, so the
+//! files stream into any JSONL tooling. Three record types:
+//!
+//! * `step` — per time step (subsampled by `telemetry_every`): Δt, the
+//!   five kernel wall times of the splitting scheme, solver iterations,
+//!   and the pressure-solve DoF throughput of that step.
+//! * `checkpoint` — written after each atomic checkpoint, with the step
+//!   it captured.
+//! * `case_summary` — totals on completion: per-kernel seconds, mean
+//!   step wall time, sustained pressure DoF throughput, and the
+//!   cross-check against the analytic [`LaplaceCounts`] work model
+//!   (model GFlop/s = measured DoF/s × model Flop/DoF).
+//!
+//! On resume the file is opened in append mode and step numbers simply
+//! continue; steps between the last checkpoint and a crash may appear
+//! twice (once per attempt), so consumers aggregating per step should
+//! de-duplicate on `(case, step)` keeping the last occurrence.
+
+use crate::json::Json;
+use dgflow_core::StepInfo;
+use dgflow_perfmodel::LaplaceCounts;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Accessor pulling one kernel's wall time out of a [`StepInfo`].
+type KernelGet = fn(&StepInfo) -> f64;
+
+/// Names and accessors of the five kernels of one splitting step.
+const KERNELS: [(&str, KernelGet); 5] = [
+    ("convective", |s| s.convective_seconds),
+    ("pressure", |s| s.pressure_seconds),
+    ("projection", |s| s.projection_seconds),
+    ("viscous", |s| s.viscous_seconds),
+    ("penalty", |s| s.penalty_seconds),
+];
+
+/// Accumulated totals of one case.
+#[derive(Clone, Debug, Default)]
+pub struct CaseTotals {
+    /// Steps recorded in this attempt.
+    pub steps: usize,
+    /// Total wall seconds of recorded steps.
+    pub wall_seconds: f64,
+    /// Per-kernel totals, in [`KERNELS`] order.
+    pub kernel_seconds: [f64; 5],
+    /// Total pressure CG iterations.
+    pub pressure_iterations: usize,
+    /// Pressure DoFs processed (one operator application per iteration).
+    pub pressure_dofs: f64,
+}
+
+/// JSONL telemetry writer for one case.
+pub struct Telemetry {
+    out: BufWriter<std::fs::File>,
+    case: String,
+    /// Velocity DoFs of the case.
+    pub n_dofs_u: usize,
+    /// Pressure DoFs of the case.
+    pub n_dofs_p: usize,
+    every: usize,
+    /// Running totals.
+    pub totals: CaseTotals,
+}
+
+impl Telemetry {
+    /// Open (append) the JSONL stream for `case` at `path`.
+    pub fn open(
+        path: &Path,
+        case: &str,
+        n_dofs_u: usize,
+        n_dofs_p: usize,
+        every: usize,
+    ) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            out: BufWriter::new(file),
+            case: case.to_string(),
+            n_dofs_u,
+            n_dofs_p,
+            every: every.max(1),
+            totals: CaseTotals::default(),
+        })
+    }
+
+    fn emit(&mut self, record: &Json) -> io::Result<()> {
+        writeln!(self.out, "{record}")?;
+        self.out.flush()
+    }
+
+    /// Record one completed step (`step` is the post-step count).
+    pub fn record_step(&mut self, step: usize, info: &StepInfo) -> io::Result<()> {
+        // One Laplacian application per CG iteration plus the initial
+        // residual — the paper's throughput unit (DoF per second of one
+        // operator application, summed over applications).
+        let pressure_apps = (info.pressure_iterations + 1) as f64;
+        let pressure_dofs = pressure_apps * self.n_dofs_p as f64;
+        self.totals.steps += 1;
+        self.totals.wall_seconds += info.wall_seconds;
+        for (slot, (_, get)) in self.totals.kernel_seconds.iter_mut().zip(KERNELS) {
+            *slot += get(info);
+        }
+        self.totals.pressure_iterations += info.pressure_iterations;
+        self.totals.pressure_dofs += pressure_dofs;
+        if !step.is_multiple_of(self.every) {
+            return Ok(());
+        }
+        let kernels = Json::Obj(
+            KERNELS
+                .iter()
+                .map(|(name, get)| ((*name).to_string(), Json::Num(get(info))))
+                .collect(),
+        );
+        let record = Json::obj([
+            ("type", Json::Str("step".to_string())),
+            ("case", Json::Str(self.case.clone())),
+            ("step", Json::Num(step as f64)),
+            ("time", Json::Num(info.time)),
+            ("dt", Json::Num(info.dt)),
+            ("wall_seconds", Json::Num(info.wall_seconds)),
+            ("kernels", kernels),
+            (
+                "pressure_iterations",
+                Json::Num(info.pressure_iterations as f64),
+            ),
+            (
+                "viscous_iterations",
+                Json::Num(info.viscous_iterations as f64),
+            ),
+            (
+                "penalty_iterations",
+                Json::Num(info.penalty_iterations as f64),
+            ),
+            (
+                "pressure_dofs_per_s",
+                Json::Num(pressure_dofs / info.pressure_seconds.max(1e-12)),
+            ),
+        ]);
+        self.emit(&record)
+    }
+
+    /// Record an atomic checkpoint of `step`.
+    pub fn record_checkpoint(&mut self, step: usize) -> io::Result<()> {
+        let record = Json::obj([
+            ("type", Json::Str("checkpoint".to_string())),
+            ("case", Json::Str(self.case.clone())),
+            ("step", Json::Num(step as f64)),
+        ]);
+        self.emit(&record)
+    }
+
+    /// Summary of this attempt's totals, cross-checked against the
+    /// analytic work model at pressure degree `k_p = degree − 1`.
+    pub fn case_summary(&self, degree: usize, status: &str) -> Json {
+        let t = &self.totals;
+        let dofs_per_s = t.pressure_dofs / t.kernel_seconds[1].max(1e-12);
+        let counts = LaplaceCounts::new(degree.saturating_sub(1), 8.0);
+        let kernels = Json::Obj(
+            KERNELS
+                .iter()
+                .zip(t.kernel_seconds)
+                .map(|((name, _), secs)| ((*name).to_string(), Json::Num(secs)))
+                .collect(),
+        );
+        Json::obj([
+            ("type", Json::Str("case_summary".to_string())),
+            ("case", Json::Str(self.case.clone())),
+            ("status", Json::Str(status.to_string())),
+            ("steps", Json::Num(t.steps as f64)),
+            ("velocity_dofs", Json::Num(self.n_dofs_u as f64)),
+            ("pressure_dofs", Json::Num(self.n_dofs_p as f64)),
+            ("wall_seconds", Json::Num(t.wall_seconds)),
+            ("kernel_seconds", kernels),
+            (
+                "mean_wall_per_step",
+                Json::Num(t.wall_seconds / (t.steps.max(1)) as f64),
+            ),
+            (
+                "pressure_iterations",
+                Json::Num(t.pressure_iterations as f64),
+            ),
+            ("pressure_dofs_per_s", Json::Num(dofs_per_s)),
+            (
+                "model_gflop_per_s",
+                Json::Num(dofs_per_s * counts.flops_per_dof / 1e9),
+            ),
+            ("model_flop_per_dof", Json::Num(counts.flops_per_dof)),
+            (
+                "model_intensity_flop_per_byte",
+                Json::Num(counts.intensity()),
+            ),
+        ])
+    }
+
+    /// Write the case summary record.
+    pub fn record_summary(&mut self, degree: usize, status: &str) -> io::Result<()> {
+        let record = self.case_summary(degree, status);
+        self.emit(&record)
+    }
+}
+
+/// Render the campaign summary table from per-case summary JSON records.
+pub fn summary_table(summaries: &[Json]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>7} {:>10} {:>12} {:>14} {:>12}\n",
+        "case", "status", "steps", "wall [s]", "DoF (u)", "press. MDoF/s", "GFlop/s*"
+    ));
+    for s in summaries {
+        let get_s = |k: &str| s.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let get_n = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>7} {:>10.2} {:>12} {:>14.2} {:>12.2}\n",
+            get_s("case"),
+            get_s("status"),
+            get_n("steps") as u64,
+            get_n("wall_seconds"),
+            get_n("velocity_dofs") as u64,
+            get_n("pressure_dofs_per_s") / 1e6,
+            get_n("model_gflop_per_s"),
+        ));
+    }
+    out.push_str(
+        "(*model cross-check: measured pressure DoF/s x analytic Flop/DoF of the SIPG Laplacian)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn info(step_wall: f64) -> StepInfo {
+        StepInfo {
+            time: 0.1,
+            dt: 1e-3,
+            pressure_iterations: 9,
+            viscous_iterations: 12,
+            penalty_iterations: 3,
+            wall_seconds: step_wall,
+            convective_seconds: 0.01,
+            pressure_seconds: 0.05,
+            projection_seconds: 0.005,
+            viscous_seconds: 0.02,
+            penalty_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn step_records_are_valid_jsonl_and_totals_accumulate() {
+        let dir = std::env::temp_dir().join(format!("dgflow-telem-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        let mut t = Telemetry::open(&path, "duct-k3", 3000, 500, 2).unwrap();
+        t.record_step(1, &info(0.1)).unwrap();
+        t.record_step(2, &info(0.1)).unwrap();
+        t.record_checkpoint(2).unwrap();
+        t.record_summary(3, "completed").unwrap();
+        drop(t);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // step 1 is suppressed by telemetry_every = 2
+        assert_eq!(lines.len(), 3);
+        let step = json::parse(lines[0]).unwrap();
+        assert_eq!(step.get("type").unwrap().as_str(), Some("step"));
+        assert_eq!(step.get("step").unwrap().as_usize(), Some(2));
+        // 10 applications × 500 DoF / 0.05 s
+        let thru = step.get("pressure_dofs_per_s").unwrap().as_f64().unwrap();
+        assert!((thru - 10.0 * 500.0 / 0.05).abs() < 1e-6);
+        let sum = json::parse(lines[2]).unwrap();
+        assert_eq!(sum.get("steps").unwrap().as_usize(), Some(2));
+        assert_eq!(sum.get("pressure_iterations").unwrap().as_usize(), Some(18));
+        // model cross-check is consistent: gflops = dofs_per_s * flop_per_dof / 1e9
+        let d = sum.get("pressure_dofs_per_s").unwrap().as_f64().unwrap();
+        let fpd = sum.get("model_flop_per_dof").unwrap().as_f64().unwrap();
+        let g = sum.get("model_gflop_per_s").unwrap().as_f64().unwrap();
+        assert!((g - d * fpd / 1e9).abs() < 1e-9 * g.abs().max(1.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summary_table_lists_every_case() {
+        let dir = std::env::temp_dir().join(format!("dgflow-telem2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = Telemetry::open(&dir.join("t.jsonl"), "a", 100, 20, 1).unwrap();
+        t.record_step(1, &info(0.2)).unwrap();
+        let table = summary_table(&[t.case_summary(2, "completed")]);
+        assert!(table.contains("a"));
+        assert!(table.contains("completed"));
+        assert!(table.lines().count() >= 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

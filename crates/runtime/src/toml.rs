@@ -1,0 +1,452 @@
+//! A span-tracking parser for the TOML subset the campaign specs use.
+//!
+//! The build environment is fully offline, so instead of the `toml`
+//! crate this implements the slice of the format a case spec needs —
+//! `[table]` and `[[array-of-table]]` headers, `key = value` pairs with
+//! strings, integers, floats, booleans and single-line arrays, `#`
+//! comments — while keeping what matters most for a *declarative* config
+//! surface: every key and value carries its source span, so validation
+//! errors point at the offending line the way rustc diagnostics do.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A parse or validation error with an optional source span.
+#[derive(Clone, Debug)]
+pub struct SpecError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Where in the source, if known.
+    pub span: Option<Span>,
+    /// The offending source line, for caret rendering.
+    pub line_text: Option<String>,
+    /// Display label of the file (set by the loader).
+    pub file: String,
+}
+
+impl SpecError {
+    /// An error pinned to a source span.
+    pub fn at(msg: impl Into<String>, span: Span, line_text: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            span: Some(span),
+            line_text: Some(line_text.into()),
+            file: String::new(),
+        }
+    }
+
+    /// An error with no useful span (e.g. a whole-document property).
+    pub fn plain(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            span: None,
+            line_text: None,
+            file: String::new(),
+        }
+    }
+
+    /// Attach the display name of the source file.
+    pub fn in_file(mut self, file: &str) -> Self {
+        self.file = file.to_string();
+        self
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.msg)?;
+        if let Some(span) = self.span {
+            let file = if self.file.is_empty() {
+                "<spec>"
+            } else {
+                &self.file
+            };
+            writeln!(f, "  --> {file}:{}:{}", span.line, span.col)?;
+            if let Some(text) = &self.line_text {
+                writeln!(f, "   |")?;
+                writeln!(f, "{:>3}| {text}", span.line)?;
+                writeln!(f, "   | {}^", " ".repeat(span.col.saturating_sub(1)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Quoted string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Single-line array of scalars.
+    Array(Vec<(Span, Value)>),
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` entry.
+#[derive(Clone, Debug)]
+pub struct KeyVal {
+    /// The key.
+    pub key: String,
+    /// Span of the key.
+    pub key_span: Span,
+    /// The value.
+    pub val: Value,
+    /// Span of the value.
+    pub val_span: Span,
+    /// Source line text (for error rendering).
+    pub line_text: String,
+}
+
+/// One `[name]` / `[[name]]` block (or the implicit root block, `name`
+/// empty) with its entries in file order.
+#[derive(Clone, Debug)]
+pub struct TableBlock {
+    /// Header name (empty for the root block).
+    pub name: String,
+    /// Span of the header.
+    pub span: Span,
+    /// Header line text.
+    pub line_text: String,
+    /// `[[name]]` (true) vs `[name]` (false).
+    pub is_array: bool,
+    /// Entries in file order.
+    pub entries: Vec<KeyVal>,
+}
+
+/// Parse a document into its table blocks, in file order.
+pub fn parse(src: &str) -> Result<Vec<TableBlock>, SpecError> {
+    let mut blocks: Vec<TableBlock> = vec![TableBlock {
+        name: String::new(),
+        span: Span { line: 1, col: 1 },
+        line_text: String::new(),
+        is_array: false,
+        entries: Vec::new(),
+    }];
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let col_of = |sub: &str| Span {
+            line: lineno,
+            // offset of `sub` within `raw_line`; both borrow the same buffer
+            col: sub.as_ptr() as usize - raw_line.as_ptr() as usize + 1,
+        };
+        if trimmed.starts_with('[') {
+            let (name, is_array) = parse_header(trimmed, lineno, raw_line)?;
+            blocks.push(TableBlock {
+                name,
+                span: col_of(trimmed),
+                line_text: raw_line.to_string(),
+                is_array,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(SpecError::at(
+                "expected `key = value` or a `[table]` header",
+                col_of(trimmed),
+                raw_line,
+            ));
+        };
+        let key_part = line[..eq].trim();
+        if key_part.is_empty() || !is_bare_key(key_part) {
+            return Err(SpecError::at(
+                format!("invalid key `{key_part}` (bare keys: letters, digits, `-`, `_`)"),
+                col_of(line[..eq].trim_start()),
+                raw_line,
+            ));
+        }
+        let val_part = line[eq + 1..].trim();
+        if val_part.is_empty() {
+            return Err(SpecError::at(
+                format!("key `{key_part}` has no value"),
+                Span {
+                    line: lineno,
+                    col: eq + 2,
+                },
+                raw_line,
+            ));
+        }
+        let val_span = col_of(val_part);
+        let val = parse_value(val_part, val_span, raw_line)?;
+        blocks.last_mut().unwrap().entries.push(KeyVal {
+            key: key_part.to_string(),
+            key_span: col_of(line[..eq].trim_start()),
+            val,
+            val_span,
+            line_text: raw_line.to_string(),
+        });
+    }
+    Ok(blocks)
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+fn parse_header(trimmed: &str, lineno: usize, raw: &str) -> Result<(String, bool), SpecError> {
+    let span = Span {
+        line: lineno,
+        col: 1,
+    };
+    let (inner, is_array) = if let Some(x) = trimmed
+        .strip_prefix("[[")
+        .and_then(|r| r.strip_suffix("]]"))
+    {
+        (x, true)
+    } else if let Some(x) = trimmed.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        (x, false)
+    } else {
+        return Err(SpecError::at("malformed table header", span, raw));
+    };
+    let name = inner.trim();
+    if !is_bare_key(name) {
+        return Err(SpecError::at(
+            format!("invalid table name `{name}`"),
+            span,
+            raw,
+        ));
+    }
+    Ok((name.to_string(), is_array))
+}
+
+fn parse_value(s: &str, span: Span, raw: &str) -> Result<Value, SpecError> {
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.starts_with('"') {
+        return parse_string(s, span, raw);
+    }
+    if s.starts_with('[') {
+        return parse_array(s, span, raw);
+    }
+    // number: integer unless it carries a float marker
+    let is_float =
+        s.contains('.') || ((s.contains('e') || s.contains('E')) && !s.starts_with("0x"));
+    if is_float {
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+        }
+    } else if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    Err(SpecError::at(
+        format!("cannot parse `{s}` as a string, number, boolean, or array"),
+        span,
+        raw,
+    ))
+}
+
+fn parse_string(s: &str, span: Span, raw: &str) -> Result<Value, SpecError> {
+    let body = &s[1..];
+    let mut out = String::new();
+    let mut chars = body.chars();
+    loop {
+        match chars.next() {
+            None => {
+                return Err(SpecError::at("unterminated string", span, raw));
+            }
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(SpecError::at(
+                        format!(
+                            "unsupported escape `\\{}`",
+                            other.map(String::from).unwrap_or_default()
+                        ),
+                        span,
+                        raw,
+                    ));
+                }
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    if !chars.as_str().trim().is_empty() {
+        return Err(SpecError::at("trailing characters after string", span, raw));
+    }
+    Ok(Value::Str(out))
+}
+
+fn parse_array(s: &str, span: Span, raw: &str) -> Result<Value, SpecError> {
+    let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) else {
+        return Err(SpecError::at(
+            "arrays must open and close on one line",
+            span,
+            raw,
+        ));
+    };
+    let mut items = Vec::new();
+    for part in split_top_level(inner) {
+        let trimmed = part.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let item_span = Span {
+            line: span.line,
+            col: span.col + (trimmed.as_ptr() as usize - s.as_ptr() as usize),
+        };
+        let v = parse_value(trimmed, item_span, raw)?;
+        if matches!(v, Value::Array(_)) {
+            return Err(SpecError::at(
+                "nested arrays are not supported",
+                item_span,
+                raw,
+            ));
+        }
+        items.push((item_span, v));
+    }
+    Ok(Value::Array(items))
+}
+
+/// Split on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_values() {
+        let src = r#"
+top = 1
+[campaign]
+name = "lung-sweep"   # a comment
+steps = 40
+tol = 1e-3
+flag = true
+[[case]]
+degrees = [2, 3, 4]
+"#;
+        let blocks = parse(src).unwrap();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].entries[0].key, "top");
+        assert_eq!(blocks[1].name, "campaign");
+        assert!(!blocks[1].is_array);
+        assert_eq!(
+            blocks[1].entries[0].val,
+            Value::Str("lung-sweep".to_string())
+        );
+        assert_eq!(blocks[1].entries[1].val, Value::Int(40));
+        assert_eq!(blocks[1].entries[2].val, Value::Float(1e-3));
+        assert_eq!(blocks[1].entries[3].val, Value::Bool(true));
+        assert!(blocks[2].is_array);
+        match &blocks[2].entries[0].val {
+            Value::Array(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse("[campaign]\nsteps = banana\n").unwrap_err();
+        let span = err.span.unwrap();
+        assert_eq!(span.line, 2);
+        assert_eq!(span.col, 9);
+        assert!(err.to_string().contains("banana"));
+        // caret rendering includes the source line
+        assert!(err.to_string().contains("steps = banana"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("just words\n").is_err());
+        assert!(parse("[unclosed\n").is_err());
+        assert!(parse("k = \"unterminated\n").is_err());
+        assert!(parse("k = [1, [2]]\n").is_err());
+        assert!(parse("bad key! = 1\n").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let blocks = parse("k = \"a # not comment\" # real\n").unwrap();
+        assert_eq!(
+            blocks[0].entries[0].val,
+            Value::Str("a # not comment".to_string())
+        );
+    }
+}

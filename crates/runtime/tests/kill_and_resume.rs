@@ -1,0 +1,155 @@
+//! End-to-end fault-tolerance test of the `dgflow` binary: start a
+//! two-case campaign, kill the process abruptly mid-run (simulated power
+//! loss via the `DGFLOW_TEST_ABORT_AFTER_CHECKPOINTS` knob, which calls
+//! `abort()` right after a checkpoint rename), then `dgflow resume` and
+//! assert the campaign completes — and that the final state is
+//! *bit-for-bit identical* to an uninterrupted run, which is the whole
+//! point of checkpointing the full BDF2 history.
+
+use std::path::Path;
+use std::process::Command;
+
+const DGFLOW: &str = env!("CARGO_BIN_EXE_dgflow");
+
+fn spec_text(out: &Path) -> String {
+    format!(
+        r#"
+[campaign]
+name = "smoke"
+output = "{}"
+checkpoint_every = 2
+
+[[case]]
+name = "a"
+mesh = "duct"
+degree = 2
+steps = 8
+dt_max = 0.01
+viscosity = 0.5
+multigrid = false
+pressure_drop = 0.1
+
+[[case]]
+name = "b"
+mesh = "duct"
+degree = 3
+steps = 6
+dt_max = 0.01
+viscosity = 0.5
+multigrid = false
+pressure_drop = 0.2
+"#,
+        out.display()
+    )
+}
+
+fn dgflow(args: &[&str]) -> Command {
+    let mut cmd = Command::new(DGFLOW);
+    cmd.args(args).env("DGFLOW_THREADS", "1");
+    cmd
+}
+
+fn read_manifest(out: &Path) -> String {
+    std::fs::read_to_string(out.join("manifest.json")).expect("manifest.json exists")
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_uninterrupted_result() {
+    let base = std::env::temp_dir().join(format!("dgflow-kill-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    // Reference: the same campaign run start-to-finish, never killed.
+    let ref_out = base.join("reference");
+    let ref_spec = base.join("reference.toml");
+    std::fs::write(&ref_spec, spec_text(&ref_out)).unwrap();
+    let status = dgflow(&["run", ref_spec.to_str().unwrap()])
+        .status()
+        .expect("run dgflow");
+    assert!(status.success(), "reference run must complete");
+
+    // Victim: same cases, killed right after the 3rd checkpoint rename.
+    let out = base.join("victim");
+    let spec = base.join("victim.toml");
+    std::fs::write(&spec, spec_text(&out)).unwrap();
+    let status = dgflow(&["run", spec.to_str().unwrap()])
+        .env("DGFLOW_TEST_ABORT_AFTER_CHECKPOINTS", "3")
+        .status()
+        .expect("run dgflow");
+    assert!(!status.success(), "aborted run must not report success");
+
+    // The abort left consistent state: a manifest, and no torn tmp files.
+    let manifest = read_manifest(&out);
+    assert!(
+        !manifest.contains("\"completed\"") || manifest.contains("\"running\""),
+        "campaign must not be fully completed after the kill: {manifest}"
+    );
+    assert!(!out.join("manifest.json.tmp").exists());
+    assert!(!out.join("a/checkpoint.ck.tmp").exists());
+    assert!(!out.join("b/checkpoint.ck.tmp").exists());
+
+    // `run` refuses to clobber the interrupted campaign.
+    let clobber = dgflow(&["run", spec.to_str().unwrap()])
+        .output()
+        .expect("run dgflow");
+    assert!(!clobber.status.success());
+
+    // Resume finishes it.
+    let status = dgflow(&["resume", spec.to_str().unwrap()])
+        .status()
+        .expect("resume dgflow");
+    assert!(status.success(), "resume must complete the campaign");
+    let manifest = read_manifest(&out);
+    assert!(!manifest.contains("\"pending\""));
+    assert!(!manifest.contains("\"running\""));
+    assert!(!manifest.contains("\"failed\""));
+    assert_eq!(manifest.matches("\"completed\"").count(), 2);
+
+    // `status` works on the output directory alone (spec copy inside).
+    let st = dgflow(&["status", out.to_str().unwrap()])
+        .output()
+        .expect("status dgflow");
+    assert!(st.status.success());
+    let text = String::from_utf8_lossy(&st.stdout);
+    assert!(text.contains("completed"), "status output: {text}");
+
+    // Bit-for-bit: the killed-and-resumed campaign must land on exactly
+    // the state the uninterrupted reference produced.
+    for case in ["a", "b"] {
+        let victim = std::fs::read(out.join(case).join("checkpoint.ck")).unwrap();
+        let reference = std::fs::read(ref_out.join(case).join("checkpoint.ck")).unwrap();
+        assert_eq!(
+            victim, reference,
+            "case {case}: resumed final checkpoint differs from the uninterrupted run"
+        );
+    }
+
+    // Resuming a completed campaign is a cheap no-op.
+    let status = dgflow(&["resume", out.to_str().unwrap()])
+        .status()
+        .expect("resume dgflow");
+    assert!(status.success());
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn validate_reports_spec_errors_with_spans() {
+    let base = std::env::temp_dir().join(format!("dgflow-validate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let spec = base.join("bad.toml");
+    std::fs::write(
+        &spec,
+        "[campaign]\nname = \"x\"\n\n[[case]]\nname = \"a\"\nmesh = \"duct\"\nsteps = 4\ndegre = 3\n",
+    )
+    .unwrap();
+    let out = dgflow(&["validate", spec.to_str().unwrap()])
+        .output()
+        .expect("validate");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degre"), "stderr: {err}");
+    assert!(err.contains("8"), "span line number missing: {err}");
+    std::fs::remove_dir_all(&base).unwrap();
+}

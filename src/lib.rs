@@ -22,6 +22,7 @@
 //! | [`core`] | the dual-splitting Navier–Stokes solver + ventilation |
 //! | [`comm`] | thread-rank message passing, ghost exchange, parallel_for |
 //! | [`perfmodel`] | roofline + strong/weak scaling models |
+//! | [`runtime`] | campaign runtime: case specs, scheduling, checkpoints, telemetry |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use dgflow_lung as lung;
 pub use dgflow_mesh as mesh;
 pub use dgflow_multigrid as multigrid;
 pub use dgflow_perfmodel as perfmodel;
+pub use dgflow_runtime as runtime;
 pub use dgflow_simd as simd;
 pub use dgflow_solvers as solvers;
 pub use dgflow_tensor as tensor;

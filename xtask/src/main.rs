@@ -29,6 +29,7 @@ fn main() -> ExitCode {
         "lint" => lint(),
         "unsafe-audit" => audit::run(rest),
         "miri" => miri(rest.iter().any(|a| a == "--strict")),
+        "runtime-smoke" => runtime_smoke(),
         "ci" => ci(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -54,7 +55,8 @@ fn print_help() {
          lint          clippy lint wall over the whole workspace (warnings denied)\n  \
          unsafe-audit  repo-specific unsafe/transmute/unwrap source audit\n  \
          miri          run the curated miri test subset (nightly; --strict to fail when unavailable)\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + miri"
+         runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
+         ci            fmt --check + lint + unsafe-audit + build --release + test + runtime-smoke + miri"
     );
 }
 
@@ -136,6 +138,92 @@ fn miri(strict: bool) -> bool {
     true
 }
 
+/// Fault-tolerance smoke test of the campaign runtime, end to end
+/// through the real `dgflow` binary: run a 2-case toy campaign, kill the
+/// process right after the 2nd checkpoint (simulated power loss via the
+/// `DGFLOW_TEST_ABORT_AFTER_CHECKPOINTS` knob), resume, and assert the
+/// manifest reports every case completed.
+fn runtime_smoke() -> bool {
+    if !step(
+        "build dgflow",
+        cargo().args([
+            "build",
+            "--release",
+            "-p",
+            "dgflow-runtime",
+            "--bin",
+            "dgflow",
+        ]),
+    ) {
+        return false;
+    }
+    let bin = std::path::Path::new("target/release/dgflow");
+    let dir = std::env::temp_dir().join(format!("dgflow-runtime-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("xtask: runtime-smoke: cannot create {}: {e}", dir.display());
+        return false;
+    }
+    let out = dir.join("out");
+    let spec = dir.join("campaign.toml");
+    let text = format!(
+        "[campaign]\nname = \"smoke\"\noutput = \"{}\"\ncheckpoint_every = 2\n\n\
+         [[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 2\nsteps = 6\n\
+         dt_max = 0.01\nviscosity = 0.5\nmultigrid = false\npressure_drop = 0.1\n\n\
+         [[case]]\nname = \"b\"\nmesh = \"duct\"\ndegree = 3\nsteps = 4\n\
+         dt_max = 0.01\nviscosity = 0.5\nmultigrid = false\npressure_drop = 0.2\n",
+        out.display()
+    );
+    if let Err(e) = std::fs::write(&spec, text) {
+        eprintln!("xtask: runtime-smoke: cannot write spec: {e}");
+        return false;
+    }
+    // Phase 1: the kill. The abort exit must NOT be success.
+    let killed = Command::new(bin)
+        .args(["run"])
+        .arg(&spec)
+        .env("DGFLOW_TEST_ABORT_AFTER_CHECKPOINTS", "2")
+        .status();
+    match killed {
+        Ok(s) if !s.success() => {}
+        Ok(_) => {
+            eprintln!("xtask: runtime-smoke: aborted run unexpectedly reported success");
+            return false;
+        }
+        Err(e) => {
+            eprintln!("xtask: runtime-smoke: could not launch dgflow: {e}");
+            return false;
+        }
+    }
+    // Phase 2: resume to completion.
+    if !step(
+        "runtime-smoke resume",
+        Command::new(bin).args(["resume"]).arg(&spec),
+    ) {
+        return false;
+    }
+    // Phase 3: the manifest must say every case completed.
+    let manifest = match std::fs::read_to_string(out.join("manifest.json")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: runtime-smoke: manifest missing after resume: {e}");
+            return false;
+        }
+    };
+    let completed = manifest.matches("\"completed\"").count();
+    let clean = completed == 2
+        && !manifest.contains("\"pending\"")
+        && !manifest.contains("\"running\"")
+        && !manifest.contains("\"failed\"");
+    if !clean {
+        eprintln!("xtask: runtime-smoke: manifest not fully completed:\n{manifest}");
+        return false;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("xtask: runtime-smoke: kill + resume completed both cases");
+    true
+}
+
 /// The full CI sequence, stopping at the first failure.
 fn ci() -> bool {
     step("fmt", cargo().args(["fmt", "--all", "--check"]))
@@ -156,5 +244,6 @@ fn ci() -> bool {
                 "dgflow-fem/check-disjoint,dgflow-comm/check-disjoint",
             ]),
         )
+        && runtime_smoke()
         && miri(false)
 }
