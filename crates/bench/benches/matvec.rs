@@ -1,0 +1,68 @@
+//! The mat-vec baseline matrix for ROADMAP item 1: Laplacian mat-vec
+//! throughput for polynomial degrees k = 1..6, on both the DG space and
+//! the continuous (CG) space, in double and single precision.
+//!
+//! Record a trajectory point with
+//! `CRITERION_JSON=$PWD/BENCH_matvec.json cargo bench -p dgflow-bench --bench matvec`
+//! from the repo root; the committed `BENCH_matvec.json` is the first such
+//! point. Sizing: `DGFLOW_BENCH_G` lung generations (default 4, small
+//! enough that all 24 configurations fit one measurement budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dgflow_bench::lung_forest;
+use dgflow_fem::cg_space::{CgLaplaceOperator, CgSpace};
+use dgflow_fem::{LaplaceOperator, MatrixFree, MfParams};
+use dgflow_lung::LungMesh;
+use dgflow_mesh::{Forest, TrilinearManifold};
+use dgflow_solvers::LinearOperator;
+use std::sync::Arc;
+
+fn geometry() -> (Forest, LungMesh) {
+    let g = std::env::var("DGFLOW_BENCH_G")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize);
+    lung_forest(g, false, 0)
+}
+
+fn bench_op<T: dgflow_simd::Real>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    op: &impl LinearOperator<T>,
+) {
+    let n = op.len();
+    let src: Vec<T> = (0..n).map(|i| T::from_f64((i % 17) as f64 * 0.1)).collect();
+    let mut dst = vec![T::ZERO; n];
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(id, &n, |b, _| {
+        b.iter(|| op.apply(&src, &mut dst));
+    });
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let (forest, _) = geometry();
+    let manifold = TrilinearManifold::from_forest(&forest);
+    let mut group = c.benchmark_group("matvec");
+    for k in 1..=6usize {
+        let dg64 = LaplaceOperator::new(Arc::new(MatrixFree::<f64, 8>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(k),
+        )));
+        bench_op(&mut group, BenchmarkId::new("dg_dp", k), &dg64);
+        let dg32 = LaplaceOperator::new(Arc::new(MatrixFree::<f32, 16>::new(
+            &forest,
+            &manifold,
+            MfParams::dg(k),
+        )));
+        bench_op(&mut group, BenchmarkId::new("dg_sp", k), &dg32);
+        let cg64 = CgLaplaceOperator::new(Arc::new(CgSpace::<f64, 8>::new(&forest, &manifold, k)));
+        bench_op(&mut group, BenchmarkId::new("cg_dp", k), &cg64);
+        let cg32 = CgLaplaceOperator::new(Arc::new(CgSpace::<f32, 16>::new(&forest, &manifold, k)));
+        bench_op(&mut group, BenchmarkId::new("cg_sp", k), &cg32);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Model atomics. Each operation is a switch point followed by the real
+//! `std::sync::atomic` operation, so the checker explores every
+//! interleaving of atomic accesses under **sequentially consistent**
+//! semantics. The `Ordering` argument is accepted for API compatibility
+//! (and so `cargo xtask unsafe-audit` can audit it at the call site) but
+//! does not weaken the model — dgcheck finds interleaving bugs, not
+//! weak-memory reordering bugs.
+
+pub use std::sync::atomic::Ordering;
+
+use super::current;
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Model counterpart of the std atomic of the same name.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Create a new atomic.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            /// Atomic load (a switch point).
+            pub fn load(&self, order: Ordering) -> $val {
+                let (ctl, me) = current();
+                ctl.switch(me, concat!(stringify!($name), "::load"));
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a switch point).
+            pub fn store(&self, v: $val, order: Ordering) {
+                let (ctl, me) = current();
+                ctl.switch(me, concat!(stringify!($name), "::store"));
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap (a switch point).
+            pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                let (ctl, me) = current();
+                ctl.switch(me, concat!(stringify!($name), "::swap"));
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic compare-exchange (a switch point).
+            pub fn compare_exchange(
+                &self,
+                cur: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                let (ctl, me) = current();
+                ctl.switch(me, concat!(stringify!($name), "::compare_exchange"));
+                self.inner.compare_exchange(cur, new, success, failure)
+            }
+
+            /// Non-atomic access through an exclusive borrow.
+            pub fn get_mut(&mut self) -> &mut $val {
+                self.inner.get_mut()
+            }
+
+            /// Consume the atomic, returning the value.
+            pub fn into_inner(self) -> $val {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+impl AtomicUsize {
+    /// Atomic add, returning the previous value (a switch point).
+    pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        let (ctl, me) = current();
+        ctl.switch(me, "AtomicUsize::fetch_add");
+        self.inner.fetch_add(v, order)
+    }
+
+    /// Atomic subtract, returning the previous value (a switch point).
+    pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+        let (ctl, me) = current();
+        ctl.switch(me, "AtomicUsize::fetch_sub");
+        self.inner.fetch_sub(v, order)
+    }
+}

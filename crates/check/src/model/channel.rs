@@ -1,0 +1,193 @@
+//! Model unbounded channel, API-compatible with the `crossbeam` stub's
+//! `channel` module (`unbounded`, `Result`-returning `send`/`recv`,
+//! cloneable `Sender`/`Receiver`). Sends never block; receives park on
+//! the scheduler until a message or full disconnection arrives.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use super::{current, in_execution};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    /// Model threads parked in `recv`.
+    recv_waiters: Vec<usize>,
+}
+
+struct Shared<T> {
+    inner: StdMutex<Inner<T>>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a model channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a model channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded FIFO model channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: StdMutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            recv_waiters: Vec::new(),
+        }),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waiters = {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // disconnection is a wakeup event for parked receivers
+                std::mem::take(&mut inner.recv_waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        if !waiters.is_empty() && in_execution() {
+            let (ctl, _) = current();
+            for w in waiters {
+                ctl.make_runnable(w);
+            }
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receivers -= 1;
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message (a switch point; never parks).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let (ctl, me) = current();
+        if !ctl.teardown_unwind() {
+            ctl.switch(me, "channel::send");
+        }
+        let woken = {
+            let mut inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            if inner.recv_waiters.is_empty() {
+                None
+            } else {
+                Some(inner.recv_waiters.remove(0))
+            }
+        };
+        if let Some(w) = woken {
+            ctl.make_runnable(w);
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Park until a message arrives, failing once the channel is drained
+    /// and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let (ctl, me) = current();
+        if !ctl.teardown_unwind() {
+            ctl.switch(me, "channel::recv");
+        }
+        loop {
+            {
+                let mut inner = self.shared.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                if ctl.teardown_unwind() {
+                    return Err(RecvError);
+                }
+                inner.recv_waiters.push(me);
+            }
+            ctl.block(me, "channel::recv (parked)");
+        }
+    }
+
+    /// Non-blocking receive; `None` when no message is ready.
+    pub fn try_recv(&self) -> Option<T> {
+        let (ctl, me) = current();
+        if !ctl.teardown_unwind() {
+            ctl.switch(me, "channel::try_recv");
+        }
+        self.shared.lock().queue.pop_front()
+    }
+}

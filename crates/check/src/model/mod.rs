@@ -1,0 +1,741 @@
+//! The model-checking runtime: a cooperative scheduler that owns every
+//! interleaving decision of a multi-threaded test closure.
+//!
+//! # How it works
+//!
+//! [`Checker::check`] runs the closure many times, once per *schedule*.
+//! Each run ("execution") spawns fresh OS threads, but the [`Controller`]
+//! only ever lets one of them make progress: every model primitive
+//! (mutex, condvar, atomic, channel, barrier, spawn/join) calls into the
+//! controller at its visible operations, and the controller decides which
+//! thread runs next. Between two such *switch points* no other thread can
+//! run, so the controller's view of the interleaving is exact.
+//!
+//! Schedules are enumerated by depth-first search over the decision tree
+//! with a *preemption bound*: at each switch point where more than one
+//! thread is runnable, the baseline choice keeps the current thread
+//! running, and alternatives that wrest control from a still-runnable
+//! thread count as preemptions. Classic concurrency bugs (lost wakeups,
+//! torn read-modify-writes, missed-notify deadlocks) almost always
+//! manifest within two preemptions, which keeps the bounded search both
+//! exhaustive-in-practice and small. If the bounded tree still exceeds
+//! `max_schedules`, the checker degrades to seeded pseudo-random
+//! schedules rather than silently passing (reported in [`Report`]).
+//!
+//! On a failing schedule the checker aborts the execution, prints the
+//! decision trace plus the per-thread operation log, and re-raises the
+//! original panic (or panics with a deadlock report) on the caller — so
+//! `#[should_panic]` tests compose naturally. Set `DGCHECK_REPLAY` to the
+//! printed decision list to re-run exactly that schedule.
+//!
+//! # What is modeled
+//!
+//! Interleavings are explored at the granularity of model-primitive
+//! operations under **sequentially consistent** semantics: the `Ordering`
+//! arguments of atomics are accepted (and audited by `cargo xtask
+//! unsafe-audit`) but not weakened — the checker finds interleaving bugs,
+//! not memory-ordering bugs (ThreadSanitizer in CI covers part of that
+//! gap). Condvar wakeups are FIFO and never spurious; plain (non-shim)
+//! memory accesses are invisible to the scheduler.
+
+pub mod atomic;
+pub mod channel;
+pub mod sync;
+pub mod thread;
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+
+/// A panic payload used internally to tear down the remaining threads of a
+/// failed execution. Never observed by user code: the checker re-raises
+/// the *first* real failure on the caller thread instead.
+struct AbortExecution;
+
+/// Thread lifecycle as seen by the scheduler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// May be chosen to run at the next switch point.
+    Runnable,
+    /// Waiting for another thread (lock, condvar, channel, barrier, join).
+    Blocked,
+    /// Body returned or unwound; never scheduled again.
+    Finished,
+}
+
+/// One branch point of an execution: which threads were runnable, which
+/// was chosen, and which thread had been running (for preemption
+/// accounting). Only recorded when there is an actual choice (≥ 2
+/// runnable threads).
+struct Decision {
+    runnable: Vec<usize>,
+    /// Index into `runnable`.
+    chosen: usize,
+    /// The thread that was running when the decision was taken (`None`
+    /// did not stay runnable ⇒ switching away from it is not a
+    /// preemption).
+    current: Option<usize>,
+}
+
+/// One entry of the per-execution operation log, printed on failure.
+struct Event {
+    thread: usize,
+    op: &'static str,
+}
+
+/// How the controller resolves branch decisions.
+enum Mode {
+    /// Replay `prefix`, then default to "keep the current thread running".
+    Dfs { prefix: Vec<usize> },
+    /// Seeded LCG choices (the fallback beyond `max_schedules`).
+    Random { state: u64 },
+    /// Follow an explicit thread-id schedule (`DGCHECK_REPLAY`).
+    Replay { schedule: Vec<usize> },
+}
+
+/// Why an execution failed.
+enum Failure {
+    /// No runnable thread while some are blocked.
+    Deadlock(&'static str),
+    /// Uncaught panic on a model thread.
+    Panic(Box<dyn Any + Send>),
+}
+
+struct ControlState {
+    threads: Vec<Status>,
+    /// Joiners parked on each thread, woken when it finishes.
+    join_waiters: Vec<Vec<usize>>,
+    /// The one thread allowed to make progress.
+    active: usize,
+    mode: Mode,
+    decisions: Vec<Decision>,
+    events: Vec<Event>,
+    steps: usize,
+    max_steps: usize,
+    /// Execution failed; remaining threads are being torn down.
+    aborting: bool,
+    failure: Option<Failure>,
+    /// All threads finished (cleanly or via teardown).
+    complete: bool,
+}
+
+/// The per-execution scheduler shared by all model threads.
+pub(crate) struct Controller {
+    state: StdMutex<ControlState>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The controller of the execution this OS thread belongs to, plus its
+    /// model thread id. `None` outside any execution.
+    static TLS: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution context of the calling thread; model primitives call this
+/// at every visible operation.
+pub(crate) fn current() -> (Arc<Controller>, usize) {
+    TLS.with(|t| t.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "dgcheck: model primitive used outside a model execution — \
+             run this code under dgflow_check::model::Checker::check \
+             (or build without --cfg dgcheck_model for the pass-through \
+             primitives)"
+        )
+    })
+}
+
+/// Is the calling thread inside a model execution?
+pub(crate) fn in_execution() -> bool {
+    TLS.with(|t| t.borrow().is_some())
+}
+
+/// Panic with the internal teardown payload — unless this thread is
+/// already unwinding, in which case the original panic keeps propagating
+/// and model primitives degrade to non-blocking best-effort behavior.
+fn abort_current() {
+    if !std::thread::panicking() {
+        std::panic::panic_any(AbortExecution);
+    }
+}
+
+type StateGuard<'a> = StdMutexGuard<'a, ControlState>;
+
+impl Controller {
+    fn new(mode: Mode, max_steps: usize) -> Self {
+        Self {
+            state: StdMutex::new(ControlState {
+                threads: Vec::new(),
+                join_waiters: Vec::new(),
+                active: 0,
+                mode,
+                decisions: Vec::new(),
+                events: Vec::new(),
+                steps: 0,
+                max_steps,
+                aborting: false,
+                failure: None,
+                complete: false,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> StateGuard<'_> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Is the execution being torn down while this thread unwinds? Model
+    /// primitives use this to skip blocking semantics during teardown.
+    pub(crate) fn teardown_unwind(&self) -> bool {
+        std::thread::panicking() && self.lock().aborting
+    }
+
+    /// A switch point: give the scheduler the chance to run another
+    /// thread before the caller's next visible operation.
+    pub(crate) fn switch(self: &Arc<Self>, me: usize, op: &'static str) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            abort_current();
+            return;
+        }
+        self.note(&mut st, me, op);
+        if st.aborting {
+            // the step bound fired
+            drop(st);
+            abort_current();
+            return;
+        }
+        let next = self
+            .choose(&mut st, Some(me))
+            .expect("switch: the current thread is runnable");
+        if next != me {
+            st.active = next;
+            self.cv.notify_all();
+            self.wait_active(st, me);
+        }
+    }
+
+    /// Park the calling thread until another thread makes it runnable
+    /// again (and the scheduler picks it). The caller must have enqueued
+    /// itself on whatever wake-up list applies *before* calling this —
+    /// between the enqueue and this call no other thread can run, which is
+    /// what makes wait-and-release sequences atomic in the model.
+    pub(crate) fn block(self: &Arc<Self>, me: usize, op: &'static str) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            abort_current();
+            return;
+        }
+        self.note(&mut st, me, op);
+        st.threads[me] = Status::Blocked;
+        match self.choose(&mut st, Some(me)) {
+            Some(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            None => {
+                self.declare_failure(&mut st, Failure::Deadlock(op));
+                drop(st);
+                abort_current();
+                return;
+            }
+        }
+        self.wait_active(st, me);
+    }
+
+    /// Wake a parked thread (it still runs only when scheduled).
+    pub(crate) fn make_runnable(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.threads[tid] == Status::Blocked {
+            st.threads[tid] = Status::Runnable;
+        }
+    }
+
+    /// Keep a spawned OS thread's handle for end-of-execution joining.
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Park the caller until model thread `target` finishes.
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        loop {
+            {
+                let mut st = self.lock();
+                if st.threads[target] == Status::Finished {
+                    return;
+                }
+                if st.aborting {
+                    drop(st);
+                    abort_current();
+                    // already unwinding — give up on the join
+                    return;
+                }
+                st.join_waiters[target].push(me);
+            }
+            self.block(me, "JoinHandle::join (parked)");
+        }
+    }
+
+    /// Register a new model thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Status::Runnable);
+        st.join_waiters.push(Vec::new());
+        st.threads.len() - 1
+    }
+
+    /// Record an event and enforce the step bound.
+    fn note(&self, st: &mut ControlState, me: usize, op: &'static str) {
+        st.events.push(Event { thread: me, op });
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.declare_failure(
+                st,
+                Failure::Deadlock("step bound exceeded — livelock, or raise Checker::max_steps"),
+            );
+        }
+    }
+
+    /// Pick the next thread to run. `None` iff no thread is runnable.
+    fn choose(&self, st: &mut ControlState, current: Option<usize>) -> Option<usize> {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        if st.aborting || runnable.len() == 1 {
+            // teardown runs threads in a fixed order; singleton choices are
+            // not decisions
+            return Some(runnable[0]);
+        }
+        let d = st.decisions.len();
+        let chosen = match &mut st.mode {
+            Mode::Dfs { prefix } => {
+                if d < prefix.len() {
+                    assert!(
+                        prefix[d] < runnable.len(),
+                        "dgcheck: the model closure is nondeterministic — a replayed \
+                         decision no longer matches the runnable set (avoid wall-clock \
+                         time, OS randomness, and real threads inside the model)"
+                    );
+                    prefix[d]
+                } else {
+                    // baseline: keep the current thread running (zero
+                    // preemptions); if it just blocked, take the lowest id
+                    current
+                        .and_then(|c| runnable.iter().position(|&t| t == c))
+                        .unwrap_or(0)
+                }
+            }
+            Mode::Random { state } => {
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((*state >> 33) as usize) % runnable.len()
+            }
+            Mode::Replay { schedule } => {
+                let want = *schedule.get(d).unwrap_or_else(|| {
+                    panic!("dgcheck: DGCHECK_REPLAY schedule ends before the execution does")
+                });
+                runnable.iter().position(|&t| t == want).unwrap_or_else(|| {
+                    panic!(
+                        "dgcheck: DGCHECK_REPLAY chose thread {want}, which is not \
+                         runnable at decision {d} (runnable: {runnable:?})"
+                    )
+                })
+            }
+        };
+        let t = runnable[chosen];
+        st.decisions.push(Decision {
+            runnable,
+            chosen,
+            current,
+        });
+        Some(t)
+    }
+
+    /// Record the first failure and start tearing the execution down:
+    /// every parked thread becomes runnable and will unwind (via
+    /// [`AbortExecution`]) the next time it is scheduled.
+    fn declare_failure(&self, st: &mut ControlState, failure: Failure) {
+        if st.failure.is_none() {
+            st.failure = Some(failure);
+        }
+        st.aborting = true;
+        for s in &mut st.threads {
+            if *s == Status::Blocked {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Park until `active == me` again (or the execution aborts).
+    fn wait_active(self: &Arc<Self>, mut st: StateGuard<'_>, me: usize) {
+        loop {
+            if st.aborting {
+                drop(st);
+                abort_current();
+                return;
+            }
+            if st.active == me && st.threads[me] == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// First scheduling of a freshly spawned model thread.
+    fn wait_initial(self: &Arc<Self>, me: usize) {
+        let st = self.lock();
+        self.wait_active(st, me);
+    }
+
+    /// Model-thread epilogue: record panics, wake joiners, schedule the
+    /// next thread, detect end-of-execution and deadlocks.
+    fn finish(self: &Arc<Self>, me: usize, result: Result<(), Box<dyn Any + Send>>) {
+        let mut st = self.lock();
+        if let Err(payload) = result {
+            if !payload.is::<AbortExecution>() {
+                self.declare_failure(&mut st, Failure::Panic(payload));
+            }
+        }
+        st.threads[me] = Status::Finished;
+        let joiners = std::mem::take(&mut st.join_waiters[me]);
+        for j in joiners {
+            if st.threads[j] == Status::Blocked {
+                st.threads[j] = Status::Runnable;
+            }
+        }
+        if st.threads.iter().all(|s| *s == Status::Finished) {
+            st.complete = true;
+            self.cv.notify_all();
+            return;
+        }
+        match self.choose(&mut st, Some(me)) {
+            Some(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            None => {
+                // every remaining thread is blocked
+                self.declare_failure(&mut st, Failure::Deadlock("all remaining threads blocked"));
+                if let Some(next) = self.choose(&mut st, None) {
+                    st.active = next;
+                }
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Outcome of one execution, consumed by the DFS driver.
+struct ExecOutcome {
+    decisions: Vec<Decision>,
+    events: Vec<Event>,
+    failure: Option<Failure>,
+}
+
+/// Would picking `runnable[choice]` at this decision preempt a thread
+/// that could have kept running?
+fn is_preemptive(d: &Decision, choice: usize) -> bool {
+    match d.current {
+        Some(c) => d.runnable.contains(&c) && d.runnable[choice] != c,
+        None => false,
+    }
+}
+
+/// The DFS successor of a completed execution's decision vector: the
+/// deepest decision with an unexplored alternative that stays within the
+/// preemption bound.
+fn next_prefix(decisions: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    let mut used = vec![0usize; decisions.len() + 1];
+    for (i, d) in decisions.iter().enumerate() {
+        used[i + 1] = used[i] + usize::from(is_preemptive(d, d.chosen));
+    }
+    for d in (0..decisions.len()).rev() {
+        for alt in decisions[d].chosen + 1..decisions[d].runnable.len() {
+            if used[d] + usize::from(is_preemptive(&decisions[d], alt)) <= bound {
+                let mut p: Vec<usize> = decisions[..d].iter().map(|x| x.chosen).collect();
+                p.push(alt);
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// Statistics of one [`Checker::check`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Total schedules executed (DFS + random fallback).
+    pub schedules: usize,
+    /// The bounded-preemption decision tree was fully enumerated.
+    pub exhausted: bool,
+    /// The preemption bound the DFS ran under.
+    pub preemption_bound: usize,
+    /// Schedules contributed by the seeded random fallback.
+    pub random_schedules: usize,
+}
+
+/// The model checker: configure, then [`check`](Checker::check) a closure.
+pub struct Checker {
+    preemption_bound: usize,
+    max_schedules: usize,
+    random_schedules: usize,
+    seed: u64,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    /// A checker with the default budget: preemption bound 2, at most
+    /// 50 000 DFS schedules, 200 random-fallback schedules, 20 000 steps
+    /// per execution.
+    pub fn new() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_schedules: 50_000,
+            random_schedules: 200,
+            seed: 0x6473_6368_6564,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule.
+    #[must_use]
+    pub fn preemption_bound(mut self, n: usize) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// DFS budget before degrading to random schedules.
+    #[must_use]
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Number of seeded random schedules run when the DFS budget is
+    /// exceeded.
+    #[must_use]
+    pub fn random_schedules(mut self, n: usize) -> Self {
+        self.random_schedules = n;
+        self
+    }
+
+    /// Seed of the random fallback.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-execution step bound (livelock guard).
+    #[must_use]
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explore the interleavings of `f`. Panics on the caller thread —
+    /// with the failing schedule and operation trace printed to stderr —
+    /// as soon as any schedule deadlocks or panics. Returns exploration
+    /// statistics otherwise.
+    ///
+    /// `f` must be deterministic apart from scheduling: every source of
+    /// nondeterminism it contains must flow through the model primitives.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        if let Ok(replay) = std::env::var("DGCHECK_REPLAY") {
+            let schedule: Vec<usize> = replay
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .expect("DGCHECK_REPLAY must be a comma-separated thread-id list")
+                })
+                .collect();
+            let outcome = self.run_one(Mode::Replay { schedule }, &f);
+            if let Some(failure) = outcome.failure {
+                report_failure(failure, &outcome.decisions, &outcome.events);
+            }
+            eprintln!("dgcheck: replayed 1 schedule without failure");
+            return Report {
+                schedules: 1,
+                exhausted: false,
+                preemption_bound: self.preemption_bound,
+                random_schedules: 0,
+            };
+        }
+
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut exhausted = false;
+        loop {
+            let outcome = self.run_one(
+                Mode::Dfs {
+                    prefix: std::mem::take(&mut prefix),
+                },
+                &f,
+            );
+            schedules += 1;
+            if let Some(failure) = outcome.failure {
+                eprintln!("dgcheck: failure on schedule {schedules}");
+                report_failure(failure, &outcome.decisions, &outcome.events);
+            }
+            match next_prefix(&outcome.decisions, self.preemption_bound) {
+                Some(p) => prefix = p,
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+            if schedules >= self.max_schedules {
+                break;
+            }
+        }
+
+        let mut random_done = 0usize;
+        if !exhausted {
+            for i in 0..self.random_schedules {
+                let state = self
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    | 1;
+                let outcome = self.run_one(Mode::Random { state }, &f);
+                schedules += 1;
+                random_done += 1;
+                if let Some(failure) = outcome.failure {
+                    eprintln!("dgcheck: failure on random schedule {schedules}");
+                    report_failure(failure, &outcome.decisions, &outcome.events);
+                }
+            }
+        }
+
+        let report = Report {
+            schedules,
+            exhausted,
+            preemption_bound: self.preemption_bound,
+            random_schedules: random_done,
+        };
+        eprintln!(
+            "dgcheck: explored {} schedule(s), preemption bound {}{}",
+            report.schedules,
+            report.preemption_bound,
+            if report.exhausted {
+                " (exhaustive within bound)".to_string()
+            } else {
+                format!(
+                    " (DFS budget exceeded; {} random fallback schedules)",
+                    report.random_schedules
+                )
+            }
+        );
+        report
+    }
+
+    /// Run one execution under `mode` and collect its outcome.
+    fn run_one(&self, mode: Mode, f: &Arc<dyn Fn() + Send + Sync>) -> ExecOutcome {
+        let ctl = Arc::new(Controller::new(mode, self.max_steps));
+        let main_id = ctl.register_thread();
+        debug_assert_eq!(main_id, 0);
+        {
+            let mut st = ctl.lock();
+            st.active = main_id;
+        }
+        let body = f.clone();
+        let handle = spawn_os_thread(ctl.clone(), main_id, move || body());
+        ctl.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        // Wait for every model thread to finish (cleanly or by teardown).
+        {
+            let mut st = ctl.lock();
+            while !st.complete {
+                st = ctl.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let handles =
+            std::mem::take(&mut *ctl.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            // teardown panics already went through `finish`
+            let _ = h.join();
+        }
+        let mut st = ctl.lock();
+        ExecOutcome {
+            decisions: std::mem::take(&mut st.decisions),
+            events: std::mem::take(&mut st.events),
+            failure: st.failure.take(),
+        }
+    }
+}
+
+/// Spawn the OS thread backing model thread `id`. The body only starts
+/// once the scheduler first picks the thread.
+pub(crate) fn spawn_os_thread(
+    ctl: Arc<Controller>,
+    id: usize,
+    body: impl FnOnce() + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        TLS.with(|t| *t.borrow_mut() = Some((ctl.clone(), id)));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ctl.wait_initial(id);
+            body();
+        }));
+        ctl.finish(id, result);
+        TLS.with(|t| *t.borrow_mut() = None);
+    })
+}
+
+/// Print the failing schedule + trace, then re-raise on the caller.
+fn report_failure(failure: Failure, decisions: &[Decision], events: &[Event]) -> ! {
+    let schedule: Vec<String> = decisions
+        .iter()
+        .map(|d| d.runnable[d.chosen].to_string())
+        .collect();
+    eprintln!("dgcheck: failing decision schedule (thread ids at each branch point):");
+    eprintln!("dgcheck:   DGCHECK_REPLAY=\"{}\"", schedule.join(","));
+    eprintln!(
+        "dgcheck: operation trace ({} events, last {} shown):",
+        events.len(),
+        events.len().min(64)
+    );
+    let start = events.len().saturating_sub(64);
+    for e in &events[start..] {
+        eprintln!("dgcheck:   [thread {}] {}", e.thread, e.op);
+    }
+    match failure {
+        Failure::Deadlock(why) => panic!(
+            "dgcheck: deadlock detected ({why}) — no runnable thread; \
+             see the trace above, replay with the printed DGCHECK_REPLAY"
+        ),
+        Failure::Panic(payload) => std::panic::resume_unwind(payload),
+    }
+}

@@ -1,0 +1,70 @@
+//! Model `spawn`/`join`/`yield_now`. Spawned closures become model
+//! threads: they run on real OS threads but only when the scheduler
+//! picks them, and `join` parks on the scheduler.
+//!
+//! Unlike `std::thread`, an uncaught panic on a model thread fails the
+//! whole execution immediately (loom semantics) — `join` therefore never
+//! returns `Err` except while the execution is being torn down. Kernels
+//! that intentionally survive worker panics must `catch_unwind` on the
+//! worker, which is exactly what `ThreadPool` does.
+
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use super::{current, spawn_os_thread};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+/// Spawn a model thread (a switch point).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (ctl, me) = current();
+    let id = ctl.register_thread();
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = slot.clone();
+    let ctl2 = ctl.clone();
+    let handle = spawn_os_thread(ctl.clone(), id, move || {
+        let v = f();
+        *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+    });
+    ctl2.push_handle(handle);
+    // the new thread is immediately runnable — let the scheduler decide
+    // whether it preempts the spawner
+    ctl.switch(me, "thread::spawn");
+    JoinHandle { id, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Park until the thread finishes; returns its value.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (ctl, me) = current();
+        if !ctl.teardown_unwind() {
+            ctl.switch(me, "JoinHandle::join");
+        }
+        ctl.join_wait(me, self.id);
+        match self
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(v) => Ok(v),
+            None => Err(
+                Box::new("model thread did not produce a value (panicked or torn down)")
+                    as Box<dyn std::any::Any + Send>,
+            ),
+        }
+    }
+}
+
+/// Voluntarily give the scheduler a branch point.
+pub fn yield_now() {
+    let (ctl, me) = current();
+    ctl.switch(me, "thread::yield_now");
+}

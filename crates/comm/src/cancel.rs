@@ -12,7 +12,7 @@
 //! exits, in contrast to a hard kill, which the checkpoint/restart layer
 //! must handle instead.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use dgflow_check::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A shared, sticky cancellation flag.
@@ -29,11 +29,15 @@ impl CancelToken {
 
     /// Request cancellation; all clones observe it.
     pub fn cancel(&self) {
+        // ordering: Release — pairs with the Acquire load in
+        // `is_cancelled` so any state written before cancelling (e.g. a
+        // reason recorded by the canceller) is visible to observers.
         self.flag.store(true, Ordering::Release);
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Acquire — pairs with the Release store in `cancel`.
         self.flag.load(Ordering::Acquire)
     }
 }

@@ -8,10 +8,9 @@
 //! (per-pair ordering, tag matching, collective synchronization) that the
 //! paper's pure-MPI parallelization relies on.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use dgflow_check::channel::{unbounded, Receiver, Sender};
+use dgflow_check::sync::{Barrier, Mutex};
 use std::sync::Arc;
-use std::sync::Barrier;
 
 /// The message-passing interface used by distributed vectors and solvers.
 pub trait Communicator: Send + Sync {

@@ -20,9 +20,10 @@
 //! [`crate::race`]): a purpose-built race detector for the conflict-colored
 //! assembly loops.
 
-use parking_lot::{Condvar, Mutex};
+use dgflow_check::sync::atomic::{AtomicUsize, Ordering};
+use dgflow_check::sync::{Condvar, Mutex};
+use dgflow_check::{channel, thread};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 #[cfg(feature = "check-disjoint")]
@@ -45,7 +46,7 @@ struct Job {
 
 /// A persistent pool of worker threads executing indexed task batches.
 pub struct ThreadPool {
-    senders: Vec<crossbeam::channel::Sender<Job>>,
+    senders: Vec<channel::Sender<Job>>,
 }
 
 impl ThreadPool {
@@ -54,9 +55,9 @@ impl ThreadPool {
     pub fn new(n_workers: usize) -> Self {
         let mut senders = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
-            let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+            let (tx, rx) = channel::unbounded::<Job>();
             senders.push(tx);
-            std::thread::spawn(move || {
+            thread::spawn(move || {
                 while let Ok(job) = rx.recv() {
                     #[cfg(feature = "check-disjoint")]
                     race::enter_run(&job.recorder);
@@ -64,6 +65,9 @@ impl ThreadPool {
                     // process from a worker nor leave `run` waiting forever
                     // on the completion count.
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+                        // ordering: Relaxed — the counter only claims task
+                        // indices; the data written by each task is published
+                        // to the caller by the `done` mutex, not the counter.
                         let i = job.counter.fetch_add(1, Ordering::Relaxed);
                         if i >= job.n_tasks {
                             break;
@@ -154,6 +158,8 @@ impl ThreadPool {
         #[cfg(feature = "check-disjoint")]
         race::enter_run(&recorder);
         let caller_result = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+            // ordering: Relaxed — same as the worker loop: pure index
+            // claiming, synchronization happens via the join barrier.
             let i = counter.fetch_add(1, Ordering::Relaxed);
             if i >= n_tasks {
                 break;

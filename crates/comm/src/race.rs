@@ -1,40 +1,61 @@
 //! Debug race detector for the conflict-colored parallel loops
 //! (`--features check-disjoint`).
 //!
-//! The cell/face assembly loops write through [`SharedMut`-style] raw
-//! pointers under a caller-checked invariant: concurrent writers touch
-//! disjoint index sets (cell loops write per-cell dof blocks; face loops
-//! are conflict-colored so no two faces of one color share a cell). Nothing
+//! The cell/face assembly loops access [`SharedMut`-style] raw pointers
+//! under a caller-checked invariant: a slot written by one thread during a
+//! pool run is touched by no other thread — neither written (cell loops
+//! write per-cell dof blocks; face loops are conflict-colored so no two
+//! faces of one color share a cell) nor read (a gather that reads a
+//! neighbor's slot while its owner rewrites it is just as racy). Nothing
 //! in the type system enforces that invariant — it silently rots as
-//! operators grow. With this feature enabled, every recorded write during a
-//! [`ThreadPool::run`](crate::ThreadPool::run) is logged per thread, and
-//! the join barrier asserts pairwise disjointness of the per-thread write
-//! sets, turning a latent data race into a deterministic panic naming the
-//! clashing index.
+//! operators grow. With this feature enabled, every recorded access during
+//! a [`ThreadPool::run`](crate::ThreadPool::run) is logged per thread, and
+//! the join barrier asserts the invariant, turning a latent data race into
+//! a deterministic panic naming the clashing index:
 //!
-//! Writes are keyed `(base address, index)`, so distinct destination arrays
-//! never alias each other. Recording is per *pool run*: each participating
-//! thread buffers into a thread-local, flushed into the run's recorder when
-//! its share of the run ends; sequential fallbacks (empty pool, single
-//! task) record nothing because a single thread cannot race itself.
+//! * **write-write**: two threads wrote the same slot;
+//! * **read-write**: one thread wrote a slot another thread read.
+//!
+//! Concurrent reads of a slot nobody writes are fine and common (gather
+//! from the previous state), so reads alone never conflict.
+//!
+//! Accesses are keyed `(base address, index)`, so distinct destination
+//! arrays never alias each other. Recording is per *pool run*: each
+//! participating thread buffers into a thread-local, flushed into the
+//! run's recorder when its share of the run ends; sequential fallbacks
+//! (empty pool, single task) record nothing because a single thread cannot
+//! race itself.
 
-use parking_lot::Mutex;
+use dgflow_check::sync::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::ThreadId;
 
-/// Write log of one `ThreadPool::run`, shared by all participating threads.
+/// What a recorded access did to its slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// The slot was only read.
+    Read,
+    /// The slot was written (or mutably borrowed).
+    Write,
+}
+
+/// One logged access: `(buffer base address, slot index, kind)`.
+type AccessEntry = (usize, usize, Access);
+
+/// Access log of one `ThreadPool::run`, shared by all participating
+/// threads.
 #[derive(Default)]
 pub struct RunRecorder {
-    /// Flushed per-thread write sets: `(thread, [(base, idx)])`.
-    threads: Mutex<Vec<(ThreadId, Vec<(usize, usize)>)>>,
+    /// Flushed per-thread access sets: `(thread, [(base, idx, access)])`.
+    threads: Mutex<Vec<(ThreadId, Vec<AccessEntry>)>>,
 }
 
 thread_local! {
     /// The recorder of the run this thread is currently participating in,
-    /// plus its unflushed write buffer.
-    static CURRENT: RefCell<Option<(Arc<RunRecorder>, Vec<(usize, usize)>)>> =
+    /// plus its unflushed access buffer.
+    static CURRENT: RefCell<Option<(Arc<RunRecorder>, Vec<AccessEntry>)>> =
         const { RefCell::new(None) };
 }
 
@@ -44,31 +65,52 @@ impl RunRecorder {
         Arc::new(Self::default())
     }
 
-    /// Assert pairwise disjointness of all flushed write sets. Called by
-    /// the run's caller thread after the join barrier; panics with the
-    /// clashing `(base, idx)` pairs on violation.
+    /// Assert the disjointness invariant over all flushed access sets.
+    /// Called by the run's caller thread after the join barrier; panics
+    /// with the clashing `(base, idx)` pairs on violation.
     pub fn check(&self) {
         let threads = self.threads.lock();
-        let mut owner: HashMap<(usize, usize), ThreadId> = HashMap::new();
+        // per slot: the set of distinct writing / reading threads (both
+        // tiny in practice — almost always a single owner)
+        let mut slots: HashMap<(usize, usize), (Vec<ThreadId>, Vec<ThreadId>)> = HashMap::new();
+        for (tid, accesses) in threads.iter() {
+            for &(base, idx, access) in accesses {
+                let (writers, readers) = slots.entry((base, idx)).or_default();
+                let set = match access {
+                    Access::Write => &mut *writers,
+                    Access::Read => &mut *readers,
+                };
+                if !set.contains(tid) {
+                    set.push(*tid);
+                }
+            }
+        }
         let mut conflicts = Vec::new();
-        for (tid, writes) in threads.iter() {
-            for &key in writes {
-                match owner.insert(key, *tid) {
-                    Some(prev) if prev != *tid => conflicts.push((key, prev, *tid)),
-                    _ => {}
+        for (&(base, idx), (writers, readers)) in &slots {
+            if writers.len() > 1 {
+                conflicts.push(format!(
+                    "  index {idx} of buffer @{base:#x} written by both {:?} and {:?} \
+                     (overlapping parallel writes)",
+                    writers[0], writers[1]
+                ));
+            }
+            if let Some(w) = writers.first() {
+                if let Some(r) = readers.iter().find(|r| *r != w) {
+                    conflicts.push(format!(
+                        "  index {idx} of buffer @{base:#x} written by {w:?} while read \
+                         by {r:?} (read-write conflict)"
+                    ));
                 }
             }
         }
         assert!(
             conflicts.is_empty(),
-            "check-disjoint: overlapping parallel writes detected — the \
+            "check-disjoint: conflicting parallel accesses detected — the \
              disjointness/coloring invariant of this assembly loop is broken:\n{}",
             conflicts
                 .iter()
                 .take(16)
-                .map(|((base, idx), a, b)| format!(
-                    "  index {idx} of buffer @{base:#x} written by both {a:?} and {b:?}"
-                ))
+                .cloned()
                 .collect::<Vec<_>>()
                 .join("\n")
         );
@@ -97,9 +139,19 @@ pub fn exit_run() {
 /// Record a write of `idx` into the buffer starting at `base`. No-op
 /// outside a pool run (a single thread cannot race itself).
 pub fn record(base: usize, idx: usize) {
+    record_access(base, idx, Access::Write);
+}
+
+/// Record a read of `idx` from the buffer starting at `base`. No-op
+/// outside a pool run.
+pub fn record_read(base: usize, idx: usize) {
+    record_access(base, idx, Access::Read);
+}
+
+fn record_access(base: usize, idx: usize, access: Access) {
     CURRENT.with(|c| {
         if let Some((_, buffer)) = c.borrow_mut().as_mut() {
-            buffer.push((base, idx));
+            buffer.push((base, idx, access));
         }
     });
 }
@@ -108,15 +160,15 @@ pub fn record(base: usize, idx: usize) {
 mod tests {
     use super::*;
 
-    fn flush_writes(rec: &Arc<RunRecorder>, writes: &[(usize, usize)]) {
+    fn flush(rec: &Arc<RunRecorder>, accesses: &[(usize, usize, Access)]) {
         // simulate one worker's participation on a fresh thread so each
-        // write set carries a distinct ThreadId
+        // access set carries a distinct ThreadId
         let rec = rec.clone();
-        let writes = writes.to_vec();
+        let accesses = accesses.to_vec();
         std::thread::spawn(move || {
             enter_run(&rec);
-            for (base, idx) in writes {
-                record(base, idx);
+            for (base, idx, access) in accesses {
+                record_access(base, idx, access);
             }
             exit_run();
         })
@@ -124,26 +176,28 @@ mod tests {
         .unwrap();
     }
 
+    use Access::{Read, Write};
+
     #[test]
     fn disjoint_sets_pass() {
         let rec = RunRecorder::new();
-        flush_writes(&rec, &[(0x1000, 0), (0x1000, 1)]);
-        flush_writes(&rec, &[(0x1000, 2), (0x1000, 3)]);
+        flush(&rec, &[(0x1000, 0, Write), (0x1000, 1, Write)]);
+        flush(&rec, &[(0x1000, 2, Write), (0x1000, 3, Write)]);
         rec.check();
     }
 
     #[test]
     fn same_index_different_buffers_pass() {
         let rec = RunRecorder::new();
-        flush_writes(&rec, &[(0x1000, 7)]);
-        flush_writes(&rec, &[(0x2000, 7)]);
+        flush(&rec, &[(0x1000, 7, Write)]);
+        flush(&rec, &[(0x2000, 7, Write)]);
         rec.check();
     }
 
     #[test]
     fn same_thread_rewrites_pass() {
         let rec = RunRecorder::new();
-        flush_writes(&rec, &[(0x1000, 7), (0x1000, 7)]);
+        flush(&rec, &[(0x1000, 7, Write), (0x1000, 7, Write)]);
         rec.check();
     }
 
@@ -151,14 +205,40 @@ mod tests {
     #[should_panic(expected = "overlapping parallel writes")]
     fn overlap_panics() {
         let rec = RunRecorder::new();
-        flush_writes(&rec, &[(0x1000, 0), (0x1000, 5)]);
-        flush_writes(&rec, &[(0x1000, 5)]);
+        flush(&rec, &[(0x1000, 0, Write), (0x1000, 5, Write)]);
+        flush(&rec, &[(0x1000, 5, Write)]);
+        rec.check();
+    }
+
+    #[test]
+    fn shared_reads_pass() {
+        let rec = RunRecorder::new();
+        flush(&rec, &[(0x1000, 5, Read), (0x1000, 6, Read)]);
+        flush(&rec, &[(0x1000, 5, Read)]);
+        rec.check();
+    }
+
+    #[test]
+    fn own_slot_read_and_write_pass() {
+        let rec = RunRecorder::new();
+        flush(&rec, &[(0x1000, 5, Read), (0x1000, 5, Write)]);
+        flush(&rec, &[(0x1000, 6, Write)]);
+        rec.check();
+    }
+
+    #[test]
+    #[should_panic(expected = "read-write conflict")]
+    fn cross_thread_read_of_written_slot_panics() {
+        let rec = RunRecorder::new();
+        flush(&rec, &[(0x1000, 5, Write)]);
+        flush(&rec, &[(0x1000, 5, Read)]);
         rec.check();
     }
 
     #[test]
     fn record_outside_run_is_ignored() {
         record(0xdead, 1);
+        record_read(0xbeef, 2);
         let rec = RunRecorder::new();
         rec.check();
     }

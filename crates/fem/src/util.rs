@@ -1,15 +1,18 @@
 //! Small utilities for the parallel loops.
 
 /// A raw slice handle that may be shared across the threads of a
-/// `parallel_for`, under the caller-checked invariant that concurrent
-/// writers touch disjoint index sets (cell loops write per-cell blocks;
-/// face loops are conflict-colored).
+/// `parallel_for`, under the caller-checked invariant that a slot written
+/// by one thread during a run is touched by no other thread — neither
+/// written nor read (cell loops write per-cell blocks; face loops are
+/// conflict-colored). Slots nobody writes may be read freely from any
+/// number of threads ([`read`](Self::read)).
 ///
 /// The handle carries the slice length: every access is bounds-checked in
 /// debug builds, so an out-of-range index panics instead of corrupting
-/// memory. With `--features check-disjoint`, each write is additionally
-/// recorded into the owning pool run's per-thread write log and the join
-/// barrier asserts pairwise disjointness — see `dgflow_comm::race`. Release
+/// memory. With `--features check-disjoint`, each access is additionally
+/// recorded into the owning pool run's per-thread access log and the join
+/// barrier asserts the invariant — flagging both write-write overlaps and
+/// cross-thread read-write conflicts; see `dgflow_comm::race`. Release
 /// builds without the feature compile both checks away.
 #[derive(Clone, Copy)]
 pub struct SharedMut<T> {
@@ -58,6 +61,17 @@ impl<T> SharedMut<T> {
         dgflow_comm::race::record(self.ptr as usize, idx);
     }
 
+    #[inline(always)]
+    fn check_read(&self, idx: usize) {
+        debug_assert!(
+            idx < self.len,
+            "SharedMut: index {idx} out of bounds (len {})",
+            self.len
+        );
+        #[cfg(feature = "check-disjoint")]
+        dgflow_comm::race::record_read(self.ptr as usize, idx);
+    }
+
     /// Write `value` at `idx`.
     ///
     /// # Safety
@@ -84,6 +98,22 @@ impl<T> SharedMut<T> {
         // SAFETY: in-bounds per above; exclusivity of the borrow is the
         // caller's contract (disjoint index sets across threads).
         unsafe { &mut *self.ptr.add(idx) }
+    }
+
+    /// Get a shared reference at `idx` (a gather from a slot this thread
+    /// does not own). Concurrent reads of the same slot are fine; reading
+    /// a slot some *other* thread writes during the same run is a race,
+    /// and is what `check-disjoint` flags as a read-write conflict.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and the slot must not be written by any
+    /// other thread while the returned borrow lives.
+    #[inline(always)]
+    pub unsafe fn read(&self, idx: usize) -> &T {
+        self.check_read(idx);
+        // SAFETY: in-bounds per above; absence of a concurrent writer is
+        // the caller's contract (ownership coloring across threads).
+        unsafe { &*self.ptr.add(idx) }
     }
 }
 
@@ -163,6 +193,49 @@ mod tests {
                                // SAFETY: in bounds; the deliberate cross-thread overlap on
                                // index 0 is the behavior under test
             unsafe { p.write(0, task + 1) };
+        });
+    }
+
+    /// A gather racing a scatter: one thread reads the slot another is
+    /// writing. Write-sets alone are disjoint — only read recording
+    /// catches this.
+    #[test]
+    #[cfg(feature = "check-disjoint")]
+    #[should_panic(expected = "read-write conflict")]
+    fn cross_thread_read_of_written_slot_panics() {
+        let pool = dgflow_comm::ThreadPool::new(1); // worker + caller
+        let mut v = vec![0usize; 64];
+        let p = SharedMut::new(&mut v);
+        let rendezvous = std::sync::Barrier::new(2);
+        pool.run(2, &|task| {
+            rendezvous.wait(); // both tasks now on distinct threads
+            if task == 0 {
+                // SAFETY: in bounds; the deliberate read of a slot task 1
+                // writes is the behavior under test
+                let _ = unsafe { *p.read(7) };
+            } else {
+                // SAFETY: in bounds; see above
+                unsafe { p.write(7, 1) };
+            }
+        });
+    }
+
+    /// Concurrent reads of slots nobody writes must stay silent: the
+    /// gather side of every cell loop does exactly this.
+    #[test]
+    #[cfg(feature = "check-disjoint")]
+    fn shared_reads_pass_under_detector() {
+        let pool = dgflow_comm::ThreadPool::new(1);
+        let mut v = vec![7usize; 64];
+        let p = SharedMut::new(&mut v);
+        let rendezvous = std::sync::Barrier::new(2);
+        pool.run(2, &|task| {
+            rendezvous.wait();
+            // SAFETY: slot 3 is read by both tasks and written by neither;
+            // each task writes only its own slot
+            let x = unsafe { *p.read(3) };
+            // SAFETY: tasks write disjoint slots 0 and 1
+            unsafe { p.write(task, x) };
         });
     }
 

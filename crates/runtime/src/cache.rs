@@ -46,6 +46,8 @@ impl CacheStats {
     /// Snapshot as `(shape_hits, shape_misses, mapping_hits,
     /// mapping_misses)`.
     pub fn snapshot(&self) -> (usize, usize, usize, usize) {
+        // ordering: Relaxed — independent monotone telemetry counters; a
+        // snapshot is advisory and never ordered against other state.
         (
             self.shape_hits.load(Ordering::Relaxed),
             self.shape_misses.load(Ordering::Relaxed),
@@ -132,6 +134,8 @@ impl SolverSetup for SetupCache {
     ) -> Arc<Mapping> {
         let key = (mesh_fingerprint(forest), mapping_degree);
         if let Some(m) = self.mappings.lock().get(&key) {
+            // ordering: Relaxed — telemetry counter; the cached data itself
+            // is published by the map mutex, not this counter.
             self.stats.mapping_hits.fetch_add(1, Ordering::Relaxed);
             return m.clone();
         }
@@ -142,6 +146,7 @@ impl SolverSetup for SetupCache {
         let built = Arc::new(Mapping::build(forest, manifold, mapping_degree));
         let mut map = self.mappings.lock();
         let entry = map.entry(key).or_insert_with(|| built).clone();
+        // ordering: Relaxed — telemetry counter, see mapping_hits above.
         self.stats.mapping_misses.fetch_add(1, Ordering::Relaxed);
         entry
     }
@@ -149,12 +154,15 @@ impl SolverSetup for SetupCache {
     fn shape(&self, degree: usize, node_set: NodeSet, n_q: usize) -> Arc<ShapeInfo1D<f64>> {
         let key = (degree, node_set, n_q);
         if let Some(s) = self.shapes.lock().get(&key) {
+            // ordering: Relaxed — telemetry counter; the cached data itself
+            // is published by the map mutex, not this counter.
             self.stats.shape_hits.fetch_add(1, Ordering::Relaxed);
             return s.clone();
         }
         let built = Arc::new(ShapeInfo1D::new(degree, node_set, n_q));
         let mut map = self.shapes.lock();
         let entry = map.entry(key).or_insert_with(|| built).clone();
+        // ordering: Relaxed — telemetry counter, see shape_hits above.
         self.stats.shape_misses.fetch_add(1, Ordering::Relaxed);
         entry
     }

@@ -29,8 +29,8 @@
 //! can stop at the next step boundary. Cancelled/unreached jobs yield
 //! `None` in the result vector; finished work is never discarded.
 
+use dgflow_check::sync::{Condvar, Mutex};
 use dgflow_comm::CancelToken;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 
 /// A multi-producer multi-consumer FIFO with a hard capacity bound.

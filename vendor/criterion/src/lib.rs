@@ -6,8 +6,14 @@
 //! harness: warm up briefly, then time batches until a fixed measurement
 //! budget and report mean ns/iter (plus throughput when configured). No
 //! statistics, plots, or baselines; numbers are indicative, not rigorous.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally record every report as a
+//! JSON baseline file (rewritten after each benchmark, so a partial run
+//! still leaves a valid file). This is how the repo's `BENCH_*.json`
+//! trajectory files are produced; see ROADMAP item 1.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -134,6 +140,62 @@ fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
         "{name:<48} time: {:>12.1} ns/iter{thrpt}",
         report.ns_per_iter
     );
+    record_json(name, report, throughput);
+}
+
+/// Reports accumulated for the `CRITERION_JSON` baseline file.
+static RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Escape a benchmark id for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// When `CRITERION_JSON` names a file, append this report to it (the whole
+/// file is rewritten each time so an interrupted run still parses).
+fn record_json(name: &str, report: &Report, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut entry = format!(
+        "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}",
+        json_escape(name),
+        report.ns_per_iter
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (report.ns_per_iter * 1e-9);
+            entry.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"elements_per_second\": {per_sec:.4e}"
+            ));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (report.ns_per_iter * 1e-9);
+            entry.push_str(&format!(
+                ", \"bytes_per_iter\": {n}, \"bytes_per_second\": {per_sec:.4e}"
+            ));
+        }
+        None => {}
+    }
+    entry.push('}');
+    let mut records = RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    records.push(entry);
+    let body = format!(
+        "{{\n  \"schema\": \"dgflow-criterion-v1\",\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: could not write {path}: {e}");
+    }
 }
 
 /// Benchmark driver: collects groups and timing budgets.
@@ -221,5 +283,12 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn json_ids_are_escaped() {
+        assert_eq!(json_escape("dg/k=3"), "dg/k=3");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }

@@ -17,6 +17,15 @@
 //!    unwinding out of a conflict-colored assembly loop would abort the
 //!    process from a worker thread. Test modules (everything after the
 //!    conventional trailing `#[cfg(test)]`) are exempt.
+//! 4. **Atomic-ordering justifications** — every non-`SeqCst` memory
+//!    ordering (`Relaxed`/`Acquire`/`Release`/`AcqRel`) carries a nearby
+//!    `// ordering:` comment stating why the weakening is sound (what the
+//!    atomic does and does not publish). `SeqCst` is the no-questions
+//!    default; weakenings are performance claims and must say so. The
+//!    `dgcheck` model checker verifies these sites under sequentially
+//!    consistent semantics only, which is exactly why each departure from
+//!    SeqCst needs a human-readable argument on record. Test modules are
+//!    exempt.
 //!
 //! The scanner is a line-based state machine that blanks comments and
 //! string literals before token matching — deliberately simple; it relies
@@ -44,6 +53,15 @@ const ROOTS: &[&str] = &["crates", "src", "tests", "vendor"];
 /// How many preceding comment/code lines may separate a `SAFETY:` comment
 /// from the `unsafe` it justifies.
 const SAFETY_LOOKBACK: usize = 6;
+
+/// The atomic orderings that demand a written justification. `SeqCst` is
+/// deliberately absent: it is the safe default.
+const WEAK_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
 
 struct Violation {
     file: PathBuf,
@@ -206,6 +224,15 @@ fn has_safety_nearby(lines: &[ScannedLine], idx: usize) -> bool {
     })
 }
 
+/// Does any of the `SAFETY_LOOKBACK` preceding lines (or the line itself)
+/// carry an `ordering:` justification comment?
+fn has_ordering_nearby(lines: &[ScannedLine], idx: usize) -> bool {
+    let lo = idx.saturating_sub(SAFETY_LOOKBACK);
+    lines[lo..=idx]
+        .iter()
+        .any(|l| l.comment.contains("ordering:"))
+}
+
 /// Does the contiguous doc-comment/attribute block above a declaration
 /// contain a `# Safety` section?
 fn doc_block_has_safety(lines: &[ScannedLine], decl_idx: usize) -> bool {
@@ -247,6 +274,21 @@ fn audit_file(rel: &Path, source: &str, violations: &mut Vec<Violation>) {
         if code.starts_with("#[cfg(test)]") {
             // convention: the test module is the last item in a file
             in_tests = true;
+        }
+
+        if !in_tests
+            && WEAK_ORDERINGS.iter().any(|o| has_token(&line.code, o))
+            && !has_ordering_nearby(&lines, i)
+        {
+            violations.push(Violation {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "atomic-ordering",
+                message: "non-SeqCst atomic ordering without a `// ordering:` \
+                          justification comment nearby; state what this atomic \
+                          does (and does not) publish, or use SeqCst"
+                    .into(),
+            });
         }
 
         if has_token(&line.code, "transmute") && !transmute_allowed {
@@ -372,6 +414,29 @@ mod tests {
     #[test]
     fn transmute_in_string_or_comment_ignored() {
         let src = "fn f() {\n    // transmute is forbidden here\n    let s = \"transmute\";\n}\n";
+        assert!(audit_str("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn weak_ordering_requires_justification() {
+        let bad = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(
+            audit_str("crates/x/src/lib.rs", bad),
+            vec!["atomic-ordering"]
+        );
+        let good = "fn f(c: &AtomicUsize) {\n    // ordering: Relaxed — pure counter, publishes nothing\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(audit_str("crates/x/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_no_justification() {
+        let src = "fn f(c: &AtomicUsize) { c.fetch_add(1, Ordering::SeqCst); }\n";
+        assert!(audit_str("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn weak_ordering_in_tests_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicUsize) { c.load(Ordering::Relaxed); }\n}\n";
         assert!(audit_str("crates/x/src/lib.rs", src).is_empty());
     }
 

@@ -13,6 +13,15 @@
 //! * `miri` — the curated UB-detection subset (nightly); degrades to a
 //!   skip with a clear message when the `miri` component is unavailable
 //!   (e.g. offline containers) unless `--strict`.
+//! * `model` — the `dgcheck` concurrency model checker: rebuilds the
+//!   comm/runtime kernels with `--cfg dgcheck_model` (routing the
+//!   `dgflow_check` shim seam to the model primitives) and exhaustively
+//!   explores the bounded-preemption interleavings of the ThreadPool join
+//!   barrier, the bounded campaign queue, cancellation, and the race
+//!   recorder.
+//! * `tsan` — ThreadSanitizer over the comm + runtime test suites
+//!   (nightly + rust-src); degrades to a skip when unavailable unless
+//!   `--strict`.
 //! * `ci` — everything above plus fmt, build, and tests, in CI order.
 
 mod audit;
@@ -29,6 +38,8 @@ fn main() -> ExitCode {
         "lint" => lint(),
         "unsafe-audit" => audit::run(rest),
         "miri" => miri(rest.iter().any(|a| a == "--strict")),
+        "model" => model(),
+        "tsan" => tsan(rest.iter().any(|a| a == "--strict")),
         "runtime-smoke" => runtime_smoke(),
         "ci" => ci(),
         "help" | "--help" | "-h" => {
@@ -55,8 +66,10 @@ fn print_help() {
          lint          clippy lint wall over the whole workspace (warnings denied)\n  \
          unsafe-audit  repo-specific unsafe/transmute/unwrap source audit\n  \
          miri          run the curated miri test subset (nightly; --strict to fail when unavailable)\n  \
+         model         dgcheck concurrency model checker over the comm/runtime kernels (--cfg dgcheck_model)\n  \
+         tsan          ThreadSanitizer over the comm/runtime test suites (nightly; --strict to fail when unavailable)\n  \
          runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + runtime-smoke + miri"
+         ci            fmt --check + lint + unsafe-audit + build --release + test + model + runtime-smoke + miri + tsan"
     );
 }
 
@@ -132,6 +145,102 @@ fn miri(strict: bool) -> bool {
         cmd.env("DGFLOW_THREADS", "2");
         cmd.env("MIRIFLAGS", "-Zmiri-many-seeds=0..4");
         if !step(&format!("miri {pkg}"), &mut cmd) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Run the `dgcheck` model suite: the dgflow-check tests compiled with
+/// `--cfg dgcheck_model`, so the comm/runtime kernels resolve their
+/// primitives to the model checker's. A separate target dir keeps the
+/// flagged build from invalidating the normal incremental cache, and
+/// `--nocapture` lets the per-model schedule reports through.
+fn model() -> bool {
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.is_empty() {
+        rustflags.push(' ');
+    }
+    rustflags.push_str("--cfg dgcheck_model");
+    step(
+        "model",
+        cargo()
+            .args([
+                "test",
+                "-p",
+                "dgflow-check",
+                "--release",
+                "--target-dir",
+                "target/dgcheck",
+                "--",
+                "--nocapture",
+            ])
+            .env("RUSTFLAGS", rustflags),
+    )
+}
+
+/// The test suites ThreadSanitizer instruments: the crates owning the
+/// hand-rolled concurrency kernels.
+const TSAN_SUBSET: &[&str] = &["dgflow-comm", "dgflow-runtime"];
+
+/// ThreadSanitizer over the concurrency-kernel test suites. Complements
+/// `model`: dgcheck explores schedules under SC semantics, TSan watches
+/// the real weak-memory execution of the schedules that happen to run.
+/// Needs nightly with the `rust-src` component (`-Zbuild-std` must
+/// instrument std itself); degrades to a skip when unavailable.
+fn tsan(strict: bool) -> bool {
+    let host = Command::new("rustc")
+        .args(["+nightly", "-vV"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8_lossy(&o.stdout)
+                .lines()
+                .find_map(|l| l.strip_prefix("host: ").map(str::to_string))
+        });
+    let src_available = Command::new("rustc")
+        .args(["+nightly", "--print", "sysroot"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| {
+            let sysroot = String::from_utf8_lossy(&o.stdout).trim().to_string();
+            std::path::Path::new(&sysroot)
+                .join("lib/rustlib/src/rust/library/std/Cargo.toml")
+                .exists()
+        })
+        .unwrap_or(false);
+    let (Some(host), true) = (host, src_available) else {
+        eprintln!(
+            "xtask: ThreadSanitizer needs a nightly toolchain with rust-src.\n\
+             xtask: install with: rustup toolchain install nightly && \
+             rustup component add --toolchain nightly rust-src\n\
+             xtask: (offline containers cannot; the model checker still covers \
+             the interleaving bugs)"
+        );
+        if strict {
+            eprintln!("xtask: --strict: treating unavailable tsan as failure");
+        }
+        return !strict;
+    };
+    for pkg in TSAN_SUBSET {
+        let mut cmd = Command::new("cargo");
+        cmd.args([
+            "+nightly",
+            "test",
+            "-p",
+            pkg,
+            "-Zbuild-std",
+            "--target",
+            &host,
+            "--target-dir",
+            "target/tsan",
+        ]);
+        cmd.env("RUSTFLAGS", "-Zsanitizer=thread");
+        // Bound pool threads so TSan's shadow memory stays small.
+        cmd.env("DGFLOW_THREADS", "2");
+        if !step(&format!("tsan {pkg}"), &mut cmd) {
             return false;
         }
     }
@@ -244,6 +353,8 @@ fn ci() -> bool {
                 "dgflow-fem/check-disjoint,dgflow-comm/check-disjoint",
             ]),
         )
+        && model()
         && runtime_smoke()
         && miri(false)
+        && tsan(false)
 }
