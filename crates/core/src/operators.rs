@@ -48,10 +48,10 @@ pub fn convective_term<T: Real, const L: usize>(
         for bi in range {
             let b = &mf.cell_batches[bi];
             let g = &mf.cell_geometry[bi];
-            for d in 0..DIM {
-                gather_cell(b, u, stride, d * dpc, dpc, &mut s.dofs);
-                evaluate_values(mf, &mut s);
-                uq[d].copy_from_slice(&s.quad);
+            for (d, uqd) in uq.iter_mut().enumerate() {
+                // collocated: nodal values *are* the quadrature values, so
+                // gather straight into the batch buffer (no copy chain).
+                gather_cell(b, u, stride, d * dpc, dpc, uqd);
             }
             for d in 0..DIM {
                 for q in 0..nq3 {
@@ -84,6 +84,7 @@ pub fn convective_term<T: Real, const L: usize>(
                 vec![Simd::<T, L>::zero(); nq2],
             ];
             let mut up = um.clone();
+            let mut flux = um.clone();
             for k in range {
                 let bi = color[k];
                 let b = &mf.face_batches[bi];
@@ -130,11 +131,6 @@ pub fn convective_term<T: Real, const L: usize>(
                 }
                 // pointwise LLF flux Φ_d = {{u_d u}}·n + λ/2 (u_d⁻ − u_d⁺)
                 let half = T::from_f64(0.5);
-                let mut flux = [
-                    vec![Simd::<T, L>::zero(); nq2],
-                    vec![Simd::<T, L>::zero(); nq2],
-                    vec![Simd::<T, L>::zero(); nq2],
-                ];
                 for q in 0..nq2 {
                     let n = [g.normal[q * 3], g.normal[q * 3 + 1], g.normal[q * 3 + 2]];
                     let unm = um[0][q] * n[0] + um[1][q] * n[1] + um[2][q] * n[2];

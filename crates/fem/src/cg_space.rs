@@ -9,8 +9,8 @@
 
 use crate::batch::FaceBatch;
 use crate::evaluator::{
-    evaluate_face, evaluate_gradients, evaluate_values, integrate, integrate_face, CellScratch,
-    FaceScratch, FaceSideDesc,
+    apply_cell_laplace, evaluate_face, evaluate_gradients, evaluate_values, integrate,
+    integrate_face, integrate_ref, laplace_cell_coeff, CellScratch, FaceScratch, FaceSideDesc,
 };
 use crate::matrixfree::{tangential, MatrixFree, MfParams};
 use crate::operators::laplace::BoundaryCondition;
@@ -21,6 +21,20 @@ use dgflow_solvers::LinearOperator;
 use dgflow_tensor::{LagrangeBasis1D, NodeSet};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Precomputed, batch-transposed constraint gather/scatter plan for one
+/// SIMD batch of cells (or one face side of a face batch): the index table
+/// drives [`Simd::gather_u32`] batched loads for the (vastly dominant)
+/// unconstrained nodes, and the few constrained `(node, lane)` pairs keep
+/// their resolved scalar rows.
+pub struct GatherPlan<const L: usize> {
+    /// `idx[i][l]`: global dof of lane `l`'s local node `i`; `u32::MAX`
+    /// marks inactive lanes and constrained nodes (listed in `special`).
+    pub idx: Vec<[u32; L]>,
+    /// Constrained nodes as `(local node, lane, entries lo, entries hi)`
+    /// ranges into [`CgSpace::entries`].
+    pub special: Vec<(u32, u8, u32, u32)>,
+}
 
 /// A continuous nodal space with hanging-node constraints.
 pub struct CgSpace<T: Real, const L: usize> {
@@ -41,6 +55,14 @@ pub struct CgSpace<T: Real, const L: usize> {
     pub positions: Vec<[f64; 3]>,
     /// Conflict-free coloring of *cell* batches (cells share dofs).
     pub cell_colors: Vec<Vec<usize>>,
+    /// Vectorized gather/scatter plan per cell batch.
+    pub cell_plans: Vec<GatherPlan<L>>,
+    /// Plans for the minus side of boundary face batches (`None` for
+    /// interior faces, which CG operators never touch).
+    pub face_plans: Vec<Option<GatherPlan<L>>>,
+    /// Per cell: true when no local node carries a constraint row, so
+    /// scalar gathers may index `l2g` directly.
+    pub cell_simple: Vec<bool>,
 }
 
 impl<T: Real, const L: usize> CgSpace<T, L> {
@@ -259,6 +281,49 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
             colors
         };
 
+        // ---- vectorized gather/scatter plans ------------------------------
+        let build_plan = |cells: &[u32], n_filled: usize| -> GatherPlan<L> {
+            let mut idx = vec![[u32::MAX; L]; dpc];
+            let mut special = Vec::new();
+            for (l, &cell) in cells.iter().enumerate().take(n_filled) {
+                if cell == u32::MAX {
+                    continue;
+                }
+                let cell = cell as usize;
+                for (i, ix) in idx.iter_mut().enumerate() {
+                    let dof = l2g[cell * dpc + i];
+                    if constrained[dof as usize] {
+                        special.push((
+                            i as u32,
+                            l as u8,
+                            row_ptr[cell * dpc + i],
+                            row_ptr[cell * dpc + i + 1],
+                        ));
+                    } else {
+                        ix[l] = dof;
+                    }
+                }
+            }
+            GatherPlan { idx, special }
+        };
+        let cell_plans: Vec<GatherPlan<L>> = mf
+            .cell_batches
+            .iter()
+            .map(|b| build_plan(&b.cells, b.n_filled))
+            .collect();
+        let face_plans: Vec<Option<GatherPlan<L>>> = mf
+            .face_batches
+            .iter()
+            .map(|b| {
+                b.category
+                    .is_boundary
+                    .then(|| build_plan(&b.minus, b.n_filled))
+            })
+            .collect();
+        let cell_simple: Vec<bool> = (0..n_cells)
+            .map(|c| (0..dpc).all(|i| !constrained[l2g[c * dpc + i] as usize]))
+            .collect();
+
         Self {
             mf,
             n_dofs,
@@ -268,20 +333,39 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
             constrained,
             positions,
             cell_colors,
+            cell_plans,
+            face_plans,
+            cell_simple,
         }
     }
 
     /// Gather cell-local nodal values resolving constraints.
     pub fn gather(&self, cell: usize, src: &[T], out: &mut [T]) {
         let dpc = self.mf.dofs_per_cell;
-        for i in 0..dpc {
+        if self.cell_simple[cell] {
+            // no constrained nodes: every row is exactly (l2g dof, 1)
+            let base = cell * dpc;
+            for (i, o) in out.iter_mut().enumerate().take(dpc) {
+                *o = src[self.l2g[base + i] as usize];
+            }
+            return;
+        }
+        self.gather_ref(cell, src, out);
+    }
+
+    /// Reference constraint gather: walk the resolved row of every local
+    /// node. Equivalence baseline for the plan-driven and `cell_simple`
+    /// fast paths.
+    pub fn gather_ref(&self, cell: usize, src: &[T], out: &mut [T]) {
+        let dpc = self.mf.dofs_per_cell;
+        for (i, o) in out.iter_mut().enumerate().take(dpc) {
             let lo = self.row_ptr[cell * dpc + i] as usize;
             let hi = self.row_ptr[cell * dpc + i + 1] as usize;
             let mut v = T::ZERO;
             for &(d, w) in &self.entries[lo..hi] {
                 v = w.mul_add(src[d as usize], v);
             }
-            out[i] = v;
+            *o = v;
         }
     }
 
@@ -293,13 +377,70 @@ impl<T: Real, const L: usize> CgSpace<T, L> {
     /// `cell_colors`).
     pub unsafe fn scatter_add(&self, cell: usize, vals: &[T], dst: &SharedMut<T>) {
         let dpc = self.mf.dofs_per_cell;
-        for i in 0..dpc {
+        if self.cell_simple[cell] {
+            let base = cell * dpc;
+            for (i, &v) in vals.iter().enumerate().take(dpc) {
+                // SAFETY: `l2g` holds valid global dofs; exclusivity is the
+                // caller's contract above.
+                unsafe { *dst.at(self.l2g[base + i] as usize) += v };
+            }
+            return;
+        }
+        for (i, &v) in vals.iter().enumerate().take(dpc) {
             let lo = self.row_ptr[cell * dpc + i] as usize;
             let hi = self.row_ptr[cell * dpc + i + 1] as usize;
             for &(d, w) in &self.entries[lo..hi] {
                 // SAFETY: `d` is a valid global dof (built alongside dst's
                 // sizing); exclusivity is the caller's contract above.
-                unsafe { *dst.at(d as usize) += w * vals[i] };
+                unsafe { *dst.at(d as usize) += w * v };
+            }
+        }
+    }
+
+    /// Vectorized batch gather through a precomputed [`GatherPlan`]:
+    /// batched indexed loads for unconstrained nodes, resolved scalar rows
+    /// for the constrained remainder. Inactive lanes read zero.
+    pub fn gather_batch(&self, plan: &GatherPlan<L>, src: &[T], out: &mut [Simd<T, L>]) {
+        for (o, ix) in out.iter_mut().zip(&plan.idx) {
+            *o = Simd::gather_u32(src, ix);
+        }
+        for &(node, lane, lo, hi) in &plan.special {
+            let mut v = T::ZERO;
+            for &(d, w) in &self.entries[lo as usize..hi as usize] {
+                v = w.mul_add(src[d as usize], v);
+            }
+            out[node as usize][lane as usize] = v;
+        }
+    }
+
+    /// Transpose of [`CgSpace::gather_batch`]: scatter-add a batch through
+    /// its plan, distributing constrained contributions to their masters.
+    ///
+    /// # Safety
+    /// Concurrent callers must target dof-disjoint batches (use
+    /// `cell_colors` / face colors); every access still goes through
+    /// [`SharedMut::at`], so the `check-disjoint` recorder sees it.
+    pub unsafe fn scatter_add_batch(
+        &self,
+        plan: &GatherPlan<L>,
+        vals: &[Simd<T, L>],
+        dst: &SharedMut<T>,
+    ) {
+        for (v, ix) in vals.iter().zip(&plan.idx) {
+            for l in 0..L {
+                let d = ix[l];
+                if d != u32::MAX {
+                    // SAFETY: plan indices are valid global dofs; exclusivity
+                    // is the caller's contract above.
+                    unsafe { *dst.at(d as usize) += v[l] };
+                }
+            }
+        }
+        for &(node, lane, lo, hi) in &plan.special {
+            let v = vals[node as usize][lane as usize];
+            for &(d, w) in &self.entries[lo as usize..hi as usize] {
+                // SAFETY: as above.
+                unsafe { *dst.at(d as usize) += w * v };
             }
         }
     }
@@ -319,20 +460,20 @@ pub struct CgLaplaceOperator<T: Real, const L: usize> {
     pub space: Arc<CgSpace<T, L>>,
     /// Per-boundary-id condition.
     pub bc: Vec<BoundaryCondition>,
+    /// Per-batch merged symmetric cell coefficient for the fused kernel.
+    coeff: Vec<Vec<Simd<T, L>>>,
 }
 
 impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
     /// All-Dirichlet boundary.
     pub fn new(space: Arc<CgSpace<T, L>>) -> Self {
-        Self {
-            space,
-            bc: Vec::new(),
-        }
+        Self::with_bc(space, Vec::new())
     }
 
     /// Explicit boundary conditions.
     pub fn with_bc(space: Arc<CgSpace<T, L>>, bc: Vec<BoundaryCondition>) -> Self {
-        Self { space, bc }
+        let coeff = laplace_cell_coeff(&space.mf);
+        Self { space, bc, coeff }
     }
 
     fn bc_of(&self, id: u32) -> BoundaryCondition {
@@ -342,7 +483,10 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
             .unwrap_or(BoundaryCondition::Dirichlet)
     }
 
-    fn gather_batch(&self, b: &crate::batch::CellBatch<L>, src: &[T], out: &mut [Simd<T, L>]) {
+    /// Reference batch gather: per-lane scalar constraint gathers through
+    /// [`CgSpace::gather_ref`], transposed into lanes. Equivalence baseline
+    /// for the plan-driven [`CgSpace::gather_batch`].
+    fn gather_batch_ref(&self, b: &crate::batch::CellBatch<L>, src: &[T], out: &mut [Simd<T, L>]) {
         let space = &*self.space;
         let dpc = space.mf.dofs_per_cell;
         let mut local = vec![T::ZERO; dpc];
@@ -350,14 +494,15 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
             *v = Simd::zero();
         }
         for l in 0..b.n_filled {
-            space.gather(b.cells[l] as usize, src, &mut local);
+            space.gather_ref(b.cells[l] as usize, src, &mut local);
             for i in 0..dpc {
                 out[i][l] = local[i];
             }
         }
     }
 
-    fn scatter_batch(
+    /// Reference batch scatter: per-lane transpose then scalar row walks.
+    fn scatter_batch_ref(
         &self,
         b: &crate::batch::CellBatch<L>,
         vals: &[Simd<T, L>],
@@ -376,26 +521,94 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
         }
     }
 
-    fn gather_face_batch(
-        &self,
-        cells: &[u32; L],
-        n_filled: usize,
-        src: &[T],
-        out: &mut [Simd<T, L>],
-    ) {
+    /// Apply the operator through the reference kernels: per-lane scalar
+    /// constraint gathers, two-stage Jacobian contraction, unfused
+    /// integrate. Exists so the kernel-equivalence suite can pin the
+    /// plan-driven fused default path against it.
+    pub fn apply_reference(&self, src: &[T], dst: &mut [T]) {
         let space = &*self.space;
-        let dpc = space.mf.dofs_per_cell;
-        let mut local = vec![T::ZERO; dpc];
-        for v in out.iter_mut() {
-            *v = Simd::zero();
+        let mf = &*space.mf;
+        dst.iter_mut().for_each(|v| *v = T::ZERO);
+        let out = SharedMut::new(dst);
+        let nq3 = mf.n_q().pow(3);
+        for color in &space.cell_colors {
+            dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
+                let mut s = CellScratch::<T, L>::new(mf);
+                for k in range {
+                    let bi = color[k];
+                    let b = &mf.cell_batches[bi];
+                    let g = &mf.cell_geometry[bi];
+                    self.gather_batch_ref(b, src, &mut s.dofs);
+                    evaluate_values(mf, &mut s);
+                    evaluate_gradients(mf, &mut s);
+                    for q in 0..nq3 {
+                        let gr = [s.grad[0][q], s.grad[1][q], s.grad[2][q]];
+                        let jxw = g.jxw[q];
+                        let m = &g.jinvt[q * 9..q * 9 + 9];
+                        let mut t = [Simd::<T, L>::zero(); 3];
+                        for r in 0..3 {
+                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
+                                * jxw;
+                        }
+                        for c in 0..3 {
+                            s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
+                        }
+                    }
+                    integrate_ref(mf, &mut s, false, true);
+                    self.scatter_batch_ref(b, &s.dofs, &out);
+                }
+            });
         }
-        for l in 0..n_filled {
-            if cells[l] == u32::MAX {
+        let nq2 = mf.n_q() * mf.n_q();
+        let mut sm = FaceScratch::<T, L>::new(mf);
+        for (bi, b) in mf.face_batches.iter().enumerate() {
+            let cat: &crate::batch::FaceCategory = &b.category;
+            if !cat.is_boundary || self.bc_of(cat.boundary_id) == BoundaryCondition::Neumann {
                 continue;
             }
-            space.gather(cells[l] as usize, src, &mut local);
-            for i in 0..dpc {
-                out[i][l] = local[i];
+            let fb: &FaceBatch<L> = b;
+            let g = &mf.face_geometry[bi];
+            let dpc = mf.dofs_per_cell;
+            let mut local = vec![T::ZERO; dpc];
+            for v in sm.dofs.iter_mut() {
+                *v = Simd::zero();
+            }
+            for l in 0..fb.n_filled {
+                if fb.minus[l] == u32::MAX {
+                    continue;
+                }
+                space.gather_ref(fb.minus[l] as usize, src, &mut local);
+                for i in 0..dpc {
+                    sm.dofs[i][l] = local[i];
+                }
+            }
+            let desc = FaceSideDesc::minus(fb);
+            evaluate_face(mf, desc, true, &mut sm);
+            for q in 0..nq2 {
+                let u = sm.val[q];
+                let dn = sm.grad[0][q] * g.g_minus[q * 3]
+                    + sm.grad[1][q] * g.g_minus[q * 3 + 1]
+                    + sm.grad[2][q] * g.g_minus[q * 3 + 2];
+                let jxw = g.jxw[q];
+                let vflux = (u * g.sigma * T::from_f64(2.0) - dn) * jxw;
+                let gsc = -(u * jxw);
+                sm.val[q] = vflux;
+                for d in 0..3 {
+                    sm.grad[d][q] = g.g_minus[q * 3 + d] * gsc;
+                }
+            }
+            integrate_face(mf, desc, true, &mut sm);
+            for l in 0..fb.n_filled {
+                for i in 0..dpc {
+                    local[i] = sm.dofs[i][l];
+                }
+                // SAFETY: the boundary loop is serial.
+                unsafe { space.scatter_add(fb.minus[l] as usize, &local, &out) };
+            }
+        }
+        for (i, &c) in space.constrained.iter().enumerate() {
+            if c {
+                dst[i] = src[i];
             }
         }
     }
@@ -661,33 +874,27 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
         let mf = &*space.mf;
         dst.iter_mut().for_each(|v| *v = T::ZERO);
         let out = SharedMut::new(dst);
-        let nq3 = mf.n_q().pow(3);
+        // Scratch buffers are recycled across chunks and colors (every
+        // kernel stage fully overwrites its buffer, so reuse is safe); the
+        // lock is per chunk, not per batch.
+        let scratch_pool: std::sync::Mutex<Vec<CellScratch<T, L>>> =
+            std::sync::Mutex::new(Vec::new());
         for color in &space.cell_colors {
             dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
-                let mut s = CellScratch::<T, L>::new(mf);
+                let mut s = {
+                    let mut pool = scratch_pool.lock().expect("scratch pool poisoned");
+                    pool.pop()
+                }
+                .unwrap_or_else(|| CellScratch::<T, L>::new(mf));
                 for k in range {
                     let bi = color[k];
-                    let b = &mf.cell_batches[bi];
-                    let g = &mf.cell_geometry[bi];
-                    self.gather_batch(b, src, &mut s.dofs);
-                    evaluate_values(mf, &mut s);
-                    evaluate_gradients(mf, &mut s);
-                    for q in 0..nq3 {
-                        let gr = [s.grad[0][q], s.grad[1][q], s.grad[2][q]];
-                        let jxw = g.jxw[q];
-                        let m = &g.jinvt[q * 9..q * 9 + 9];
-                        let mut t = [Simd::<T, L>::zero(); 3];
-                        for r in 0..3 {
-                            t[r] = (gr[0] * m[3 * r] + gr[1] * m[3 * r + 1] + gr[2] * m[3 * r + 2])
-                                * jxw;
-                        }
-                        for c in 0..3 {
-                            s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
-                        }
-                    }
-                    integrate(mf, &mut s, false, true);
-                    self.scatter_batch(b, &s.dofs, &out);
+                    let plan = &space.cell_plans[bi];
+                    space.gather_batch(plan, src, &mut s.dofs);
+                    apply_cell_laplace(mf, &self.coeff[bi], &mut s);
+                    // SAFETY: batches within a color are dof-disjoint.
+                    unsafe { space.scatter_add_batch(plan, &s.dofs, &out) };
                 }
+                scratch_pool.lock().expect("scratch pool poisoned").push(s);
             });
         }
         // boundary Nitsche faces (serial: boundary share of work is small
@@ -701,7 +908,10 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
             }
             let fb: &FaceBatch<L> = b;
             let g = &mf.face_geometry[bi];
-            self.gather_face_batch(&fb.minus, fb.n_filled, src, &mut sm.dofs);
+            let plan = space.face_plans[bi]
+                .as_ref()
+                .expect("boundary faces have plans");
+            space.gather_batch(plan, src, &mut sm.dofs);
             let desc = FaceSideDesc::minus(fb);
             evaluate_face(mf, desc, true, &mut sm);
             for q in 0..nq2 {
@@ -718,15 +928,8 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
                 }
             }
             integrate_face(mf, desc, true, &mut sm);
-            let mut local = vec![T::ZERO; mf.dofs_per_cell];
-            for l in 0..fb.n_filled {
-                for i in 0..mf.dofs_per_cell {
-                    local[i] = sm.dofs[i][l];
-                }
-                // SAFETY: face batches within one color have dof-disjoint
-                // minus cells; colors are processed sequentially.
-                unsafe { space.scatter_add(fb.minus[l] as usize, &local, &out) };
-            }
+            // SAFETY: the boundary loop is serial.
+            unsafe { space.scatter_add_batch(plan, &sm.dofs, &out) };
         }
         // constrained rows act as identity
         for (i, &c) in space.constrained.iter().enumerate() {

@@ -15,7 +15,9 @@ use crate::batch::{CellBatch, FaceBatch};
 use crate::matrixfree::{tangential, MatrixFree};
 use dgflow_mesh::FaceOrientation;
 use dgflow_simd::{Real, Simd};
-use dgflow_tensor::sumfac::{apply_1d, apply_1d_2d, contract_dir, expand_dir};
+use dgflow_tensor::sumfac::{
+    apply_1d, apply_1d_2d, contract_dir, expand_dir, extract_dir, insert_dir,
+};
 
 /// Scratch buffers for cell kernels (allocate once per worker chunk).
 pub struct CellScratch<T: Real, const L: usize> {
@@ -160,7 +162,64 @@ pub fn integrate<T: Real, const L: usize>(
 ) {
     let n = mf.n_1d();
     let nq = mf.n_q();
-    // accumulate everything on the quadrature grid first
+    // accumulate everything on the quadrature grid first; the transpose
+    // sweeps add directly into `quad` (no tmp round-trip — `dst[o] += acc`
+    // inside the sweep is bitwise equal to the reference's sweep-then-add,
+    // see `integrate_ref` and the `fused_integrate_matches_reference` test)
+    if with_gradients {
+        for d in 0..3 {
+            let keep = d != 0 || with_values;
+            apply_1d(
+                &mf.shape.colloc_gradients_t,
+                &s.grad[d],
+                &mut s.quad,
+                [nq, nq, nq],
+                d,
+                keep,
+            );
+        }
+    }
+    if mf.collocated() {
+        s.dofs.copy_from_slice(&s.quad);
+        return;
+    }
+    apply_1d(
+        &mf.shape.values_t,
+        &s.quad,
+        &mut s.tmp[..n * nq * nq],
+        [nq, nq, nq],
+        0,
+        false,
+    );
+    apply_1d(
+        &mf.shape.values_t,
+        &s.tmp[..n * nq * nq],
+        &mut s.tmp2[..n * n * nq],
+        [n, nq, nq],
+        1,
+        false,
+    );
+    apply_1d(
+        &mf.shape.values_t,
+        &s.tmp2[..n * n * nq],
+        &mut s.dofs,
+        [n, n, nq],
+        2,
+        false,
+    );
+}
+
+/// Reference implementation of [`integrate`]: sweep each gradient component
+/// into a temporary, then add whole arrays. Kept as the equivalence
+/// baseline for the fused-accumulation fast path above.
+pub fn integrate_ref<T: Real, const L: usize>(
+    mf: &MatrixFree<T, L>,
+    s: &mut CellScratch<T, L>,
+    with_values: bool,
+    with_gradients: bool,
+) {
+    let n = mf.n_1d();
+    let nq = mf.n_q();
     if with_gradients {
         for d in 0..3 {
             apply_1d(
@@ -208,6 +267,130 @@ pub fn integrate<T: Real, const L: usize>(
         2,
         false,
     );
+}
+
+/// Precompute the merged SIPG cell coefficient for every batch: per
+/// quadrature point the 6 entries `[c00, c01, c02, c11, c12, c22]` of the
+/// symmetric matrix `c_ab = JxW · Σ_r (J^{-T})_{ra} (J^{-T})_{rb}`, so the
+/// fused cell kernel streams 6 batches per point instead of the 9-entry
+/// Jacobian plus JxW (the bandwidth trim that narrows the SP/DP gap).
+pub fn laplace_cell_coeff<T: Real, const L: usize>(mf: &MatrixFree<T, L>) -> Vec<Vec<Simd<T, L>>> {
+    let nq3 = mf.n_q().pow(3);
+    mf.cell_geometry
+        .iter()
+        .map(|g| {
+            let mut c = vec![Simd::<T, L>::zero(); 6 * nq3];
+            for q in 0..nq3 {
+                let m = &g.jinvt[q * 9..q * 9 + 9];
+                let jxw = g.jxw[q];
+                for (k, (a, b)) in [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    c[6 * q + k] = (m[a] * m[b] + m[3 + a] * m[3 + b] + m[6 + a] * m[6 + b]) * jxw;
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+/// Fused SIPG Laplace cell kernel: differentiate the gathered nodal data in
+/// `s.dofs`, contract with the precomputed symmetric coefficient (6 batches
+/// per point, see [`laplace_cell_coeff`]), and apply the transposed
+/// gradient sweeps back into `s.dofs` — for collocated bases six total
+/// sweeps with no value-interpolation copies or tmp round-trips.
+pub fn apply_cell_laplace<T: Real, const L: usize>(
+    mf: &MatrixFree<T, L>,
+    coeff: &[Simd<T, L>],
+    s: &mut CellScratch<T, L>,
+) {
+    let nq = mf.n_q();
+    let e = [nq, nq, nq];
+    if mf.collocated() {
+        for d in 0..3 {
+            apply_1d(
+                &mf.shape.colloc_gradients,
+                &s.dofs,
+                &mut s.grad[d],
+                e,
+                d,
+                false,
+            );
+        }
+    } else {
+        evaluate_values(mf, s);
+        for d in 0..3 {
+            apply_1d(
+                &mf.shape.colloc_gradients,
+                &s.quad,
+                &mut s.grad[d],
+                e,
+                d,
+                false,
+            );
+        }
+    }
+    let [gx, gy, gz] = &mut s.grad;
+    for (((g0, g1), g2), c) in gx
+        .iter_mut()
+        .zip(gy.iter_mut())
+        .zip(gz.iter_mut())
+        .zip(coeff.chunks_exact(6))
+    {
+        let (a, b, d) = (*g0, *g1, *g2);
+        *g0 = a * c[0] + b * c[1] + d * c[2];
+        *g1 = a * c[1] + b * c[3] + d * c[4];
+        *g2 = a * c[2] + b * c[4] + d * c[5];
+    }
+    if mf.collocated() {
+        for d in 0..3 {
+            apply_1d(
+                &mf.shape.colloc_gradients_t,
+                &s.grad[d],
+                &mut s.dofs,
+                e,
+                d,
+                d != 0,
+            );
+        }
+    } else {
+        for d in 0..3 {
+            apply_1d(
+                &mf.shape.colloc_gradients_t,
+                &s.grad[d],
+                &mut s.quad,
+                e,
+                d,
+                d != 0,
+            );
+        }
+        let n = mf.n_1d();
+        apply_1d(
+            &mf.shape.values_t,
+            &s.quad,
+            &mut s.tmp[..n * nq * nq],
+            [nq, nq, nq],
+            0,
+            false,
+        );
+        apply_1d(
+            &mf.shape.values_t,
+            &s.tmp[..n * nq * nq],
+            &mut s.tmp2[..n * n * nq],
+            [n, nq, nq],
+            1,
+            false,
+        );
+        apply_1d(
+            &mf.shape.values_t,
+            &s.tmp2[..n * n * nq],
+            &mut s.dofs,
+            [n, n, nq],
+            2,
+            false,
+        );
+    }
 }
 
 /// Scratch buffers for one side of a face kernel.
@@ -298,14 +481,18 @@ pub fn evaluate_face<T: Real, const L: usize>(
     let d = f / 2;
     let sd = f % 2;
     let (t1, t2) = tangential(d);
-    // trace of values and (optionally) of the normal-direction derivative
-    contract_dir(
-        &mf.shape.face_values[sd],
-        &s.dofs,
-        &mut s.nodal2d,
-        [n, n, n],
-        d,
-    );
+    // trace of values and (optionally) of the normal-direction derivative;
+    // bases nodal at the endpoint (CG Gauss–Lobatto) trace by layer copy
+    match mf.shape.face_unit[sd] {
+        Some(u) => extract_dir(&s.dofs, &mut s.nodal2d, [n, n, n], d, u),
+        None => contract_dir(
+            &mf.shape.face_values[sd],
+            &s.dofs,
+            &mut s.nodal2d,
+            [n, n, n],
+            d,
+        ),
+    }
     if with_grad {
         contract_dir(
             &mf.shape.face_gradients[sd],
@@ -444,17 +631,21 @@ pub fn integrate_face<T: Real, const L: usize>(
     if with_grad {
         integ(&s.grad[d], &mut s.nodal2d_n, &mut s.tmp2);
     }
-    // expand along the normal direction into the cell-nodal buffer
-    for v in s.dofs.iter_mut() {
-        *v = Simd::zero();
+    // expand along the normal direction into the cell-nodal buffer; the
+    // first expand overwrites (bitwise equal to zeroing then adding), the
+    // second accumulates — one full pass over `dofs` saved per face side.
+    // Endpoint-nodal bases (CG Gauss–Lobatto) insert one layer instead.
+    match mf.shape.face_unit[sd] {
+        Some(u) => insert_dir(&s.nodal2d, &mut s.dofs, [n, n, n], d, u, false),
+        None => expand_dir(
+            &mf.shape.face_values[sd],
+            &s.nodal2d,
+            &mut s.dofs,
+            [n, n, n],
+            d,
+            false,
+        ),
     }
-    expand_dir(
-        &mf.shape.face_values[sd],
-        &s.nodal2d,
-        &mut s.dofs,
-        [n, n, n],
-        d,
-    );
     if with_grad {
         expand_dir(
             &mf.shape.face_gradients[sd],
@@ -462,6 +653,7 @@ pub fn integrate_face<T: Real, const L: usize>(
             &mut s.dofs,
             [n, n, n],
             d,
+            true,
         );
     }
 }

@@ -4,9 +4,9 @@
 
 use crate::batch::FaceBatch;
 use crate::evaluator::{
-    evaluate_face, evaluate_gradients, evaluate_values, gather_cell, gather_face_cells, integrate,
-    integrate_face, scatter_add_cell, scatter_add_face_cells, CellScratch, FaceScratch,
-    FaceSideDesc,
+    apply_cell_laplace, evaluate_face, evaluate_gradients, evaluate_values, gather_cell,
+    gather_face_cells, integrate, integrate_face, integrate_ref, laplace_cell_coeff,
+    scatter_add_cell, scatter_add_face_cells, CellScratch, FaceScratch, FaceSideDesc,
 };
 use crate::matrixfree::MatrixFree;
 use crate::util::SharedMut;
@@ -31,17 +31,21 @@ pub struct LaplaceOperator<T: Real, const L: usize> {
     /// Boundary condition per boundary id (defaults to Dirichlet for ids
     /// beyond the list).
     pub bc: Vec<BoundaryCondition>,
+    /// Per-batch merged symmetric cell coefficient (6 batches per
+    /// quadrature point) for the fused cell kernel.
+    coeff: Vec<Vec<Simd<T, L>>>,
 }
 
 impl<T: Real, const L: usize> LaplaceOperator<T, L> {
     /// Create with all boundaries Dirichlet.
     pub fn new(mf: Arc<MatrixFree<T, L>>) -> Self {
-        Self { mf, bc: Vec::new() }
+        Self::with_bc(mf, Vec::new())
     }
 
     /// Create with explicit per-id boundary conditions.
     pub fn with_bc(mf: Arc<MatrixFree<T, L>>, bc: Vec<BoundaryCondition>) -> Self {
-        Self { mf, bc }
+        let coeff = laplace_cell_coeff(&mf);
+        Self { mf, bc, coeff }
     }
 
     /// Boundary condition of a boundary id.
@@ -53,6 +57,18 @@ impl<T: Real, const L: usize> LaplaceOperator<T, L> {
     }
 
     fn cell_kernel(&self, bi: usize, src: &[T], dst: &SharedMut<T>, s: &mut CellScratch<T, L>) {
+        let mf = &*self.mf;
+        let b = &mf.cell_batches[bi];
+        let dpc = mf.dofs_per_cell;
+        gather_cell(b, src, dpc, 0, dpc, &mut s.dofs);
+        apply_cell_laplace(mf, &self.coeff[bi], s);
+        scatter_add_cell(b, &s.dofs, dpc, 0, dpc, dst);
+    }
+
+    /// Reference cell kernel: two-stage Jacobian contraction per point and
+    /// the unfused evaluate/integrate pipeline. Equivalence baseline for
+    /// the fused [`apply_cell_laplace`] path (see `kernel_equiv.rs`).
+    fn cell_kernel_ref(&self, bi: usize, src: &[T], dst: &SharedMut<T>, s: &mut CellScratch<T, L>) {
         let mf = &*self.mf;
         let b = &mf.cell_batches[bi];
         let g = &mf.cell_geometry[bi];
@@ -75,8 +91,33 @@ impl<T: Real, const L: usize> LaplaceOperator<T, L> {
                 s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
             }
         }
-        integrate(mf, s, false, true);
+        integrate_ref(mf, s, false, true);
         scatter_add_cell(b, &s.dofs, dpc, 0, dpc, dst);
+    }
+
+    /// Apply the operator through the reference kernels (unfused cell
+    /// pipeline, two-stage Jacobian contraction). Exists so the
+    /// kernel-equivalence suite can pin the fused default path against it.
+    pub fn apply_reference(&self, src: &[T], dst: &mut [T]) {
+        let mf = &*self.mf;
+        dst.iter_mut().for_each(|v| *v = T::ZERO);
+        let out = SharedMut::new(dst);
+        let n_cb = mf.cell_batches.len();
+        dgflow_comm::parallel_for_chunks(n_cb, 1, |range| {
+            let mut s = CellScratch::<T, L>::new(mf);
+            for bi in range {
+                self.cell_kernel_ref(bi, src, &out, &mut s);
+            }
+        });
+        for color in &mf.face_colors {
+            dgflow_comm::parallel_for_chunks(color.len(), 1, |range| {
+                let mut sm = FaceScratch::<T, L>::new(mf);
+                let mut sp = FaceScratch::<T, L>::new(mf);
+                for k in range {
+                    self.face_kernel(color[k], src, &out, &mut sm, &mut sp);
+                }
+            });
+        }
     }
 
     fn face_kernel(

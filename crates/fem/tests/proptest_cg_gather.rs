@@ -1,0 +1,165 @@
+//! Property-based tests of the vectorized CG constraint gather/scatter
+//! plans: for random hanging-node refinement patterns (random constraint
+//! rows, batch remainders with `cells % LANES != 0`) the plan-driven batch
+//! paths must agree with the scalar row-walk reference — no lost,
+//! duplicated, or misrouted contributions. The scatter goes through
+//! `SharedMut::at`, so running this suite with `--features check-disjoint`
+//! also routes every write through the race recorder.
+
+use dgflow_fem::cg_space::CgSpace;
+use dgflow_fem::util::SharedMut;
+use dgflow_mesh::{CoarseMesh, Forest, TrilinearManifold};
+use dgflow_simd::Simd;
+use proptest::prelude::*;
+
+const L: usize = 8;
+
+/// Box refined once, then a random subset of the 8 children refined again:
+/// every non-trivial subset produces hanging faces (constraint rows) and a
+/// cell count `8 + 7m` that is never a multiple of 8 lanes for `m ≥ 1`.
+fn marked_forest(marks8: &[bool]) -> Forest {
+    let mut f = Forest::new(CoarseMesh::hyper_cube());
+    f.refine_global(1);
+    f.refine_active(marks8);
+    f
+}
+
+fn deterministic_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 11) as f64) / ((1u64 << 52) as f64) - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `gather_batch` lane `l` equals the scalar reference gather of the
+    /// lane's cell; inactive lanes read exactly zero.
+    #[test]
+    fn gather_batch_matches_scalar_reference(
+        marks in collection::vec(any::<bool>(), 8),
+        degree in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let forest = marked_forest(&marks);
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let space = CgSpace::<f64, L>::new(&forest, &manifold, degree);
+        let dpc = space.mf.dofs_per_cell;
+        let src = deterministic_vec(space.n_dofs, seed);
+        let mut batched = vec![Simd::<f64, L>::zero(); dpc];
+        let mut scalar = vec![0.0f64; dpc];
+        for (bi, b) in space.mf.cell_batches.iter().enumerate() {
+            space.gather_batch(&space.cell_plans[bi], &src, &mut batched);
+            for l in 0..L {
+                if l < b.n_filled {
+                    space.gather_ref(b.cells[l] as usize, &src, &mut scalar);
+                    for i in 0..dpc {
+                        prop_assert!(
+                            batched[i][l].to_bits() == scalar[i].to_bits(),
+                            "batch {} lane {} node {}: {} vs {}",
+                            bi, l, i, batched[i][l], scalar[i]
+                        );
+                    }
+                } else {
+                    for (i, v) in batched.iter().enumerate() {
+                        prop_assert!(v[l] == 0.0, "inactive lane {} node {}", l, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `scatter_add_batch` distributes exactly the contributions of the
+    /// scalar reference scatter: same totals per global dof (up to
+    /// accumulation-order roundoff), garbage in inactive lanes ignored.
+    #[test]
+    fn scatter_batch_matches_scalar_reference(
+        marks in collection::vec(any::<bool>(), 8),
+        degree in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let forest = marked_forest(&marks);
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let space = CgSpace::<f64, L>::new(&forest, &manifold, degree);
+        let dpc = space.mf.dofs_per_cell;
+        let mut fast = vec![0.0f64; space.n_dofs];
+        let mut reference = vec![0.0f64; space.n_dofs];
+        let mut lane_vals = vec![0.0f64; dpc];
+        for (bi, b) in space.mf.cell_batches.iter().enumerate() {
+            // fill ALL lanes (including inactive ones) with data — the plan
+            // must ignore the inactive remainder on its own
+            let raw = deterministic_vec(dpc * L, seed ^ (bi as u64) << 8);
+            let vals: Vec<Simd<f64, L>> = (0..dpc)
+                .map(|i| Simd::from_fn(|l| raw[i * L + l]))
+                .collect();
+            {
+                let dst = SharedMut::new(&mut fast);
+                // SAFETY: sequential test code — no concurrent writers.
+                unsafe { space.scatter_add_batch(&space.cell_plans[bi], &vals, &dst) };
+            }
+            {
+                let dst = SharedMut::new(&mut reference);
+                for l in 0..b.n_filled {
+                    for (i, lv) in lane_vals.iter_mut().enumerate() {
+                        *lv = vals[i][l];
+                    }
+                    // SAFETY: sequential test code — no concurrent writers.
+                    unsafe { space.scatter_add(b.cells[l] as usize, &lane_vals, &dst) };
+                }
+            }
+        }
+        let scale = reference.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (d, (&a, &b)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 64.0 * f64::EPSILON * scale,
+                "dof {}: fast {} vs reference {}", d, a, b
+            );
+        }
+    }
+
+    /// Round trip: gathering a globally-smooth field and scattering it back
+    /// conserves the total weighted mass — `Σ scatter(gather(src))` equals
+    /// `Σ_cells Σ_nodes gathered` (each local contribution lands exactly
+    /// once, split across masters with weights that the transpose returns).
+    #[test]
+    fn gather_scatter_round_trip_conserves_contributions(
+        marks in collection::vec(any::<bool>(), 8),
+        degree in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let forest = marked_forest(&marks);
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let space = CgSpace::<f64, L>::new(&forest, &manifold, degree);
+        let dpc = space.mf.dofs_per_cell;
+        let src = deterministic_vec(space.n_dofs, seed);
+        let mut out = vec![0.0f64; space.n_dofs];
+        let mut gathered = vec![Simd::<f64, L>::zero(); dpc];
+        let mut expected_total = 0.0f64;
+        for (bi, _b) in space.mf.cell_batches.iter().enumerate() {
+            let plan = &space.cell_plans[bi];
+            space.gather_batch(plan, &src, &mut gathered);
+            // constrained rows sum their weights into the masters; the
+            // weights of one hanging interpolation row sum to 1, so the
+            // scattered total equals the gathered total
+            for v in &gathered {
+                expected_total += v.horizontal_sum();
+            }
+            let dst = SharedMut::new(&mut out);
+            // SAFETY: sequential test code — no concurrent writers.
+            unsafe { space.scatter_add_batch(plan, &gathered, &dst) };
+        }
+        let total: f64 = out.iter().sum();
+        let scale = expected_total.abs().max(1.0);
+        prop_assert!(
+            (total - expected_total).abs() <= 1e-10 * scale,
+            "lost/duplicated contributions: scattered {} vs gathered {}",
+            total, expected_total
+        );
+    }
+}

@@ -59,6 +59,10 @@ pub struct Transfer<T: Real, const L: usize> {
     m_full: DMatrix<T>,
     /// Child-interval interpolation for h-transfer.
     m_child: [DMatrix<T>; 2],
+    /// Transposes of `m_full` / `m_child`, precomputed at construction so
+    /// every `restrict` call streams them straight from the struct.
+    mt_full: DMatrix<T>,
+    mt_child: [DMatrix<T>; 2],
     /// Valence weights per (fine cell, local node).
     weights: Vec<T>,
 }
@@ -80,6 +84,28 @@ fn compute_weights<T: Real, const L: usize>(fine: &FineSpace<T, L>) -> Vec<T> {
 }
 
 impl<T: Real, const L: usize> Transfer<T, L> {
+    fn with_matrices(
+        fine: FineSpace<T, L>,
+        coarse: Arc<CgSpace<T, L>>,
+        pairs: Vec<(u32, u8)>,
+        m_full: DMatrix<T>,
+        m_child: [DMatrix<T>; 2],
+    ) -> Self {
+        let weights = compute_weights(&fine);
+        let mt_full = m_full.transpose();
+        let mt_child = [m_child[0].transpose(), m_child[1].transpose()];
+        Self {
+            fine,
+            coarse,
+            pairs,
+            m_full,
+            m_child,
+            mt_full,
+            mt_child,
+            weights,
+        }
+    }
+
     /// DG(k) → CG(k) transfer on the same forest (the continuity injection
     /// of Fig. 5).
     pub fn dg_to_cg(fine: Arc<MatrixFree<T, L>>, coarse: Arc<CgSpace<T, L>>) -> Self {
@@ -90,16 +116,8 @@ impl<T: Real, const L: usize> Transfer<T, L> {
         let gauss_nodes = NodeSet::Gauss.nodes(k);
         let m_full: DMatrix<T> = gll.value_matrix(&gauss_nodes);
         let pairs = (0..fine.n_cells).map(|c| (c as u32, 255u8)).collect();
-        let fine_space = FineSpace::Dg(fine);
-        let weights = compute_weights(&fine_space);
-        Self {
-            fine: fine_space,
-            coarse,
-            pairs,
-            m_child: [m_full.clone(), m_full.clone()],
-            m_full,
-            weights,
-        }
+        let m_child = [m_full.clone(), m_full.clone()];
+        Self::with_matrices(FineSpace::Dg(fine), coarse, pairs, m_full, m_child)
     }
 
     /// CG(k_fine) → CG(k_coarse) polynomial transfer on the same forest.
@@ -112,16 +130,8 @@ impl<T: Real, const L: usize> Transfer<T, L> {
         let fine_nodes = NodeSet::GaussLobatto.nodes(kf);
         let m_full: DMatrix<T> = cb.value_matrix(&fine_nodes);
         let pairs = (0..fine.mf.n_cells).map(|c| (c as u32, 255u8)).collect();
-        let fine_space = FineSpace::Cg(fine);
-        let weights = compute_weights(&fine_space);
-        Self {
-            fine: fine_space,
-            coarse,
-            pairs,
-            m_child: [m_full.clone(), m_full.clone()],
-            m_full,
-            weights,
-        }
+        let m_child = [m_full.clone(), m_full.clone()];
+        Self::with_matrices(FineSpace::Cg(fine), coarse, pairs, m_full, m_child)
     }
 
     /// Geometric transfer between a forest and its global coarsening (same
@@ -169,16 +179,7 @@ impl<T: Real, const L: usize> Transfer<T, L> {
                 pairs.push((cc, code));
             }
         }
-        let fine_space = FineSpace::Cg(fine);
-        let weights = compute_weights(&fine_space);
-        Self {
-            fine: fine_space,
-            coarse,
-            pairs,
-            m_full,
-            m_child,
-            weights,
-        }
+        Self::with_matrices(FineSpace::Cg(fine), coarse, pairs, m_full, m_child)
     }
 
     /// Fine-space size.
@@ -199,6 +200,18 @@ impl<T: Real, const L: usize> Transfer<T, L> {
                 &self.m_child[(code & 1) as usize],
                 &self.m_child[((code >> 1) & 1) as usize],
                 &self.m_child[((code >> 2) & 1) as usize],
+            ]
+        }
+    }
+
+    fn matrices_t_for(&self, code: u8) -> [&DMatrix<T>; 3] {
+        if code == 255 {
+            [&self.mt_full; 3]
+        } else {
+            [
+                &self.mt_child[(code & 1) as usize],
+                &self.mt_child[((code >> 1) & 1) as usize],
+                &self.mt_child[((code >> 2) & 1) as usize],
             ]
         }
     }
@@ -256,7 +269,6 @@ impl<T: Real, const L: usize> Transfer<T, L> {
         let mut t1 = vec![dgflow_simd::Simd::<T, 1>::zero(); nc1 * nc1 * nf1];
         let mut t2 = vec![dgflow_simd::Simd::<T, 1>::zero(); dpc_c];
         let mut local = vec![T::ZERO; dpc_c];
-        let mut mt_cache: HashMap<u8, [DMatrix<T>; 3]> = HashMap::new();
         for (fc, &(cc, code)) in self.pairs.iter().enumerate() {
             // read fine local values (plain, weighted)
             match &self.fine {
@@ -273,13 +285,10 @@ impl<T: Real, const L: usize> Transfer<T, L> {
                     }
                 }
             }
-            let mt = mt_cache.entry(code).or_insert_with(|| {
-                let m = self.matrices_for(code);
-                [m[0].transpose(), m[1].transpose(), m[2].transpose()]
-            });
-            apply_1d(&mt[0], &fl, &mut t0, [nf1, nf1, nf1], 0, false);
-            apply_1d(&mt[1], &t0, &mut t1, [nc1, nf1, nf1], 1, false);
-            apply_1d(&mt[2], &t1, &mut t2, [nc1, nc1, nf1], 2, false);
+            let mt = self.matrices_t_for(code);
+            apply_1d(mt[0], &fl, &mut t0, [nf1, nf1, nf1], 0, false);
+            apply_1d(mt[1], &t0, &mut t1, [nc1, nf1, nf1], 1, false);
+            apply_1d(mt[2], &t1, &mut t2, [nc1, nc1, nf1], 2, false);
             for (lv, t) in local.iter_mut().zip(&t2) {
                 *lv = t.0[0];
             }

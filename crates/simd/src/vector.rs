@@ -132,6 +132,34 @@ impl<T: Real, const LANES: usize> Simd<T, LANES> {
         }
     }
 
+    /// Gather with a compact `u32` index table: lane `l` reads
+    /// `src[indices[l]]`, lanes at the `u32::MAX` sentinel read zero. The
+    /// half-width table keeps the precomputed per-batch index streams of
+    /// the CG gather (cf. `cg_space::GatherPlan`) at cache-line density.
+    #[inline(always)]
+    pub fn gather_u32(src: &[T], indices: &[u32; LANES]) -> Self {
+        Self::from_fn(|l| {
+            let i = indices[l];
+            if i == u32::MAX {
+                T::ZERO
+            } else {
+                src[i as usize]
+            }
+        })
+    }
+
+    /// Scatter-add with a compact `u32` index table; `u32::MAX` lanes are
+    /// skipped. Transpose of [`Self::gather_u32`].
+    #[inline(always)]
+    pub fn scatter_add_u32(self, dst: &mut [T], indices: &[u32; LANES]) {
+        for l in 0..LANES {
+            let i = indices[l];
+            if i != u32::MAX {
+                dst[i as usize] += self.0[l];
+            }
+        }
+    }
+
     /// Convert each lane to a different scalar type (SP↔DP transfers of the
     /// mixed-precision V-cycle).
     #[inline(always)]
@@ -272,6 +300,29 @@ mod tests {
         g.scatter_add(&mut dst, &idx);
         assert_eq!(dst[6], 6.0);
         assert_eq!(dst[31], 0.0);
+    }
+
+    #[test]
+    fn gather_scatter_u32_match_usize_paths() {
+        let src: Vec<f64> = (0..40).map(|i| f64::from(i) * 0.25).collect();
+        let mut idx = [0usize; 8];
+        let mut idx32 = [0u32; 8];
+        for l in 0..8 {
+            idx[l] = (5 * l + 3) % 40;
+            idx32[l] = idx[l] as u32;
+        }
+        idx[2] = usize::MAX;
+        idx32[2] = u32::MAX;
+        let a = F64x8::gather(&src, &idx);
+        let b = F64x8::gather_u32(&src, &idx32);
+        assert_eq!(a, b);
+        assert_eq!(b[2], 0.0);
+        let mut d1 = vec![0.0f64; 40];
+        let mut d2 = vec![0.0f64; 40];
+        a.scatter_add(&mut d1, &idx);
+        b.scatter_add_u32(&mut d2, &idx32);
+        assert_eq!(d1, d2);
+        assert_eq!(d2[3], src[3]);
     }
 
     #[test]

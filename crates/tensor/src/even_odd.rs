@@ -123,6 +123,88 @@ impl<T: Real> EvenOddMatrix<T> {
         }
     }
 
+    /// Apply to `cb` parallel lines at once — the cache-blocked sweep of
+    /// `apply_1d_eo`. Line element `i` of chunk lane `c` lives at
+    /// `src[i*stride_in + c]`, its outputs at `dst[q*stride_out + c]`.
+    /// The per-line operation sequence is exactly [`Self::apply_line`]'s
+    /// (same even/odd folding, same fma order), so results are bitwise
+    /// identical to applying `apply_line` per gathered line.
+    #[inline]
+    pub fn apply_lines_strided<const L: usize>(
+        &self,
+        src: &[Simd<T, L>],
+        stride_in: usize,
+        dst: &mut [Simd<T, L>],
+        stride_out: usize,
+        cb: usize,
+        add: bool,
+    ) {
+        debug_assert!(cb <= crate::sumfac::CHUNK);
+        debug_assert!(self.n_cols <= 16 && self.n_rows <= 16);
+        let nc = self.n_cols;
+        let nr = self.n_rows;
+        let half = T::from_f64(0.5);
+        let hc_even = nc.div_ceil(2);
+        // even/odd halves of each chunk lane (middle entry kept whole)
+        let mut e = [[Simd::<T, L>::zero(); crate::sumfac::CHUNK]; 8];
+        let mut o = [[Simd::<T, L>::zero(); crate::sumfac::CHUNK]; 8];
+        for i in 0..nc / 2 {
+            for c in 0..cb {
+                let lo = src[i * stride_in + c];
+                let hi = src[(nc - 1 - i) * stride_in + c];
+                e[i][c] = (lo + hi) * half;
+                o[i][c] = (lo - hi) * half;
+            }
+        }
+        if nc % 2 == 1 {
+            for c in 0..cb {
+                e[nc / 2][c] = src[(nc / 2) * stride_in + c];
+            }
+        }
+        let hr = nr.div_ceil(2);
+        for q in 0..hr {
+            let mut p = [Simd::<T, L>::zero(); crate::sumfac::CHUNK];
+            for i in 0..hc_even {
+                let w = Simd::splat(self.even.get(q, i));
+                for c in 0..cb {
+                    p[c] = e[i][c].mul_add(w, p[c]);
+                }
+            }
+            let mut r = [Simd::<T, L>::zero(); crate::sumfac::CHUNK];
+            for i in 0..nc / 2 {
+                let w = Simd::splat(self.odd.get(q, i));
+                for c in 0..cb {
+                    r[c] = o[i][c].mul_add(w, r[c]);
+                }
+            }
+            for c in 0..cb {
+                let v = p[c] + r[c];
+                let ob = q * stride_out + c;
+                if add {
+                    dst[ob] += v;
+                } else {
+                    dst[ob] = v;
+                }
+            }
+            let qr = nr - 1 - q;
+            if qr != q {
+                for c in 0..cb {
+                    let diff = p[c] - r[c];
+                    let v = match self.symmetry {
+                        Symmetry::Even => diff,
+                        Symmetry::Odd => -diff,
+                    };
+                    let ob = qr * stride_out + c;
+                    if add {
+                        dst[ob] += v;
+                    } else {
+                        dst[ob] = v;
+                    }
+                }
+            }
+        }
+    }
+
     /// Scalar multiplication count per line (for the roofline Flop model):
     /// even–odd costs `ceil(nr/2) * (ceil(nc/2) + floor(nc/2))` multiplies
     /// instead of `nr * nc`.

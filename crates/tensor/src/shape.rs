@@ -82,6 +82,11 @@ pub struct ShapeInfo1D<T> {
     pub colloc_gradients_t_eo: EvenOddMatrix<T>,
     /// Basis values at the interval ends: `face_values[s][i] = l_i(s)`.
     pub face_values: [Vec<T>; 2],
+    /// When `face_values[s]` is exactly a standard basis vector (a nodal
+    /// basis with a node *on* the endpoint, e.g. Gauss–Lobatto), the index
+    /// of its single unit entry: the endpoint trace is then a layer copy
+    /// and kernels skip the dense normal-direction contraction.
+    pub face_unit: [Option<usize>; 2],
     /// Basis derivatives at the ends: `face_gradients[s][i] = l_i'(s)`.
     pub face_gradients: [Vec<T>; 2],
     /// Interpolation from parent nodes to the quadrature points of child
@@ -95,6 +100,21 @@ pub struct ShapeInfo1D<T> {
     pub node_sub_values: [DMatrix<T>; 2],
     /// The underlying Lagrange basis (for custom evaluations at setup time).
     pub basis: LagrangeBasis1D,
+}
+
+/// Index of the single exact-1 entry of `v` when every other entry is
+/// exactly 0 — the bitwise-strict test keeps the layer-copy fast path
+/// equivalent to the dense contraction it replaces.
+fn unit_index<T: Real>(v: &[T]) -> Option<usize> {
+    let mut unit = None;
+    for (i, &x) in v.iter().enumerate() {
+        if x == T::ONE && unit.is_none() {
+            unit = Some(i);
+        } else if x != T::ZERO {
+            return None;
+        }
+    }
+    unit
 }
 
 impl<T: Real> ShapeInfo1D<T> {
@@ -113,7 +133,7 @@ impl<T: Real> ShapeInfo1D<T> {
         let gradients: DMatrix<T> = basis.gradient_matrix(&quad.points);
         let colloc_basis = LagrangeBasis1D::new(quad.points.clone());
         let colloc_gradients: DMatrix<T> = colloc_basis.gradient_matrix(&quad.points);
-        let face_values = [
+        let face_values: [Vec<T>; 2] = [
             basis
                 .values_at(0.0)
                 .iter()
@@ -125,6 +145,7 @@ impl<T: Real> ShapeInfo1D<T> {
                 .map(|&v| T::from_f64(v))
                 .collect(),
         ];
+        let face_unit = [unit_index(&face_values[0]), unit_index(&face_values[1])];
         let face_gradients = [
             basis
                 .derivatives_at(0.0)
@@ -167,6 +188,7 @@ impl<T: Real> ShapeInfo1D<T> {
             values,
             gradients,
             face_values,
+            face_unit,
             face_gradients,
             sub_values,
             sub_values_t,
@@ -215,6 +237,16 @@ mod tests {
         for i in 1..5 {
             assert!(s.face_values[0][i].abs() < 1e-13);
             assert!(s.face_values[1][i - 1].abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn lobatto_traces_detected_as_unit_gauss_not() {
+        for k in 1..=6 {
+            let gll: ShapeInfo1D<f64> = ShapeInfo1D::new(k, NodeSet::GaussLobatto, k + 1);
+            assert_eq!(gll.face_unit, [Some(0), Some(k)]);
+            let g: ShapeInfo1D<f64> = ShapeInfo1D::new(k, NodeSet::Gauss, k + 1);
+            assert_eq!(g.face_unit, [None, None]);
         }
     }
 

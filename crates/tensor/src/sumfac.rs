@@ -17,6 +17,12 @@ use dgflow_simd::{Real, Simd};
 /// Maximum supported 1-D size (degree ≤ 15, quadrature ≤ 16 points).
 pub const MAX_N_1D: usize = 16;
 
+/// SIMD elements per contiguous chunk of the cache-blocked strided sweeps:
+/// the `n_in × CHUNK` source tile (≤ 16·8·64 B = 8 KiB for f64×8 batches)
+/// stays L1-resident while all `n_out` output rows are formed from it, and
+/// the `CHUNK` accumulators fit the vector register file.
+pub(crate) const CHUNK: usize = 8;
+
 #[inline(always)]
 fn line_dims(dir: usize) -> (usize, usize) {
     match dir {
@@ -46,7 +52,97 @@ pub fn tensor_len(e: [usize; 3]) -> usize {
 
 /// `dst = M ⊗_dir src` (or `dst += …` when `add`): contract the matrix `m`
 /// (`n_out × n_in`) with direction `dir` of `src`.
+///
+/// Cache-blocked fast path: direction 0 reads its lines contiguously (no
+/// gather buffer), directions 1–2 process the contiguous fast-dimension
+/// runs in [`CHUNK`]-wide tiles so each source tile is streamed once and
+/// reused for every output row. Per output element the accumulation order
+/// is identical to [`apply_1d_ref`] (ascending `i`, multiply then fused
+/// multiply-adds), so the result is bitwise equal to the reference sweep —
+/// the property `apply_1d_blocked_matches_reference_bitwise` pins down.
 pub fn apply_1d<T: Real, const L: usize>(
+    m: &DMatrix<T>,
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents_in: [usize; 3],
+    dir: usize,
+    add: bool,
+) {
+    let n_in = m.cols();
+    let n_out = m.rows();
+    debug_assert_eq!(extents_in[dir], n_in);
+    debug_assert!(n_in <= MAX_N_1D && n_out <= MAX_N_1D);
+    debug_assert_eq!(src.len(), tensor_len(extents_in));
+    debug_assert_eq!(dst.len(), tensor_len(extents_after(extents_in, dir, n_out)));
+    assert!(dir < 3, "direction out of range");
+    if dir == 0 {
+        // lines are contiguous: stream them directly, no gather buffer
+        let n_lines = extents_in[1] * extents_in[2];
+        for line in 0..n_lines {
+            let sline = &src[line * n_in..line * n_in + n_in];
+            let dline = &mut dst[line * n_out..line * n_out + n_out];
+            for q in 0..n_out {
+                let row = m.row(q);
+                let mut acc = sline[0] * row[0];
+                for i in 1..n_in {
+                    acc = sline[i].mul_add(Simd::splat(row[i]), acc);
+                }
+                if add {
+                    dline[q] += acc;
+                } else {
+                    dline[q] = acc;
+                }
+            }
+        }
+        return;
+    }
+    // dir 1: runs of length e0 per i2-slab; dir 2: one run of length e0*e1
+    let run = if dir == 1 {
+        extents_in[0]
+    } else {
+        extents_in[0] * extents_in[1]
+    };
+    let n_slabs = if dir == 1 { extents_in[2] } else { 1 };
+    let in_slab = run * n_in;
+    let out_slab = run * n_out;
+    for slab in 0..n_slabs {
+        let s_src = &src[slab * in_slab..slab * in_slab + in_slab];
+        let s_dst = &mut dst[slab * out_slab..slab * out_slab + out_slab];
+        let mut c0 = 0;
+        while c0 < run {
+            let cb = (run - c0).min(CHUNK);
+            for q in 0..n_out {
+                let row = m.row(q);
+                let mut acc = [Simd::<T, L>::zero(); CHUNK];
+                for (c, a) in acc.iter_mut().enumerate().take(cb) {
+                    *a = s_src[c0 + c] * row[0];
+                }
+                for i in 1..n_in {
+                    let w = Simd::splat(row[i]);
+                    let base = c0 + i * run;
+                    for (c, a) in acc.iter_mut().enumerate().take(cb) {
+                        *a = s_src[base + c].mul_add(w, *a);
+                    }
+                }
+                let obase = c0 + q * run;
+                if add {
+                    for c in 0..cb {
+                        s_dst[obase + c] += acc[c];
+                    }
+                } else {
+                    s_dst[obase..obase + cb].copy_from_slice(&acc[..cb]);
+                }
+            }
+            c0 += cb;
+        }
+    }
+}
+
+/// Reference implementation of [`apply_1d`]: per-line gather into a stack
+/// buffer, then one dot product per output point. Kept as the equivalence
+/// baseline for the blocked fast path (and for callers that want the
+/// simplest possible sweep to reason about).
+pub fn apply_1d_ref<T: Real, const L: usize>(
     m: &DMatrix<T>,
     src: &[Simd<T, L>],
     dst: &mut [Simd<T, L>],
@@ -91,7 +187,66 @@ pub fn apply_1d<T: Real, const L: usize>(
 
 /// Even–odd variant of [`apply_1d`]: identical result, roughly half the
 /// multiplications for symmetric point sets.
+///
+/// Cache-blocked like [`apply_1d`]: direction 0 applies per contiguous
+/// line, directions 1–2 hand [`CHUNK`]-wide tiles of parallel lines to
+/// [`EvenOddMatrix::apply_lines_strided`]. Bitwise equal to
+/// [`apply_1d_eo_ref`].
 pub fn apply_1d_eo<T: Real, const L: usize>(
+    m: &EvenOddMatrix<T>,
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents_in: [usize; 3],
+    dir: usize,
+    add: bool,
+) {
+    let n_in = m.cols();
+    let n_out = m.rows();
+    debug_assert_eq!(extents_in[dir], n_in);
+    debug_assert_eq!(src.len(), tensor_len(extents_in));
+    debug_assert_eq!(dst.len(), tensor_len(extents_after(extents_in, dir, n_out)));
+    assert!(dir < 3, "direction out of range");
+    if dir == 0 {
+        let n_lines = extents_in[1] * extents_in[2];
+        let mut out = [Simd::<T, L>::zero(); MAX_N_1D];
+        for line in 0..n_lines {
+            let sline = &src[line * n_in..line * n_in + n_in];
+            m.apply_line(sline, &mut out[..n_out]);
+            let dline = &mut dst[line * n_out..line * n_out + n_out];
+            if add {
+                for q in 0..n_out {
+                    dline[q] += out[q];
+                }
+            } else {
+                dline.copy_from_slice(&out[..n_out]);
+            }
+        }
+        return;
+    }
+    let run = if dir == 1 {
+        extents_in[0]
+    } else {
+        extents_in[0] * extents_in[1]
+    };
+    let n_slabs = if dir == 1 { extents_in[2] } else { 1 };
+    let in_slab = run * n_in;
+    let out_slab = run * n_out;
+    for slab in 0..n_slabs {
+        let s_src = &src[slab * in_slab..slab * in_slab + in_slab];
+        let s_dst = &mut dst[slab * out_slab..slab * out_slab + out_slab];
+        let mut c0 = 0;
+        while c0 < run {
+            let cb = (run - c0).min(CHUNK);
+            m.apply_lines_strided(&s_src[c0..], run, &mut s_dst[c0..], run, cb, add);
+            c0 += cb;
+        }
+    }
+}
+
+/// Reference implementation of [`apply_1d_eo`]: per-line gather into a
+/// stack buffer, then [`EvenOddMatrix::apply_line`]. Equivalence baseline
+/// for the blocked fast path.
+pub fn apply_1d_eo_ref<T: Real, const L: usize>(
     m: &EvenOddMatrix<T>,
     src: &[Simd<T, L>],
     dst: &mut [Simd<T, L>],
@@ -128,6 +283,61 @@ pub fn apply_1d_eo<T: Real, const L: usize>(
     }
 }
 
+/// Copy the layer `dst[i1,i2] = src[.., idx, ..]` at fixed index `idx` of
+/// direction `dir` — the endpoint trace of a nodal basis with a node *on*
+/// that endpoint (`ShapeInfo1D::face_unit`). Equal to [`contract_dir`]
+/// with a standard-basis weight vector, up to the sign of exact zeros.
+pub fn extract_dir<T: Real, const L: usize>(
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents: [usize; 3],
+    dir: usize,
+    idx: usize,
+) {
+    let s = strides(extents);
+    let (d1, d2) = line_dims(dir);
+    debug_assert_eq!(dst.len(), extents[d1] * extents[d2]);
+    for i2 in 0..extents[d2] {
+        for i1 in 0..extents[d1] {
+            dst[i1 + extents[d1] * i2] = src[i1 * s[d1] + i2 * s[d2] + idx * s[dir]];
+        }
+    }
+}
+
+/// Transpose of [`extract_dir`]: write the 2-D tensor into layer `idx` of
+/// direction `dir`, zeroing every other layer when `!add` (matching the
+/// overwrite-expand convention of [`expand_dir`]) or accumulating in place
+/// when `add`. Equal to [`expand_dir`] with a standard-basis weight
+/// vector, up to the sign of exact zeros.
+pub fn insert_dir<T: Real, const L: usize>(
+    src: &[Simd<T, L>],
+    dst: &mut [Simd<T, L>],
+    extents: [usize; 3],
+    dir: usize,
+    idx: usize,
+    add: bool,
+) {
+    let s = strides(extents);
+    let (d1, d2) = line_dims(dir);
+    debug_assert_eq!(src.len(), extents[d1] * extents[d2]);
+    if !add {
+        for v in dst.iter_mut() {
+            *v = Simd::zero();
+        }
+    }
+    for i2 in 0..extents[d2] {
+        for i1 in 0..extents[d1] {
+            let o = i1 * s[d1] + i2 * s[d2] + idx * s[dir];
+            let v = src[i1 + extents[d1] * i2];
+            if add {
+                dst[o] += v;
+            } else {
+                dst[o] = v;
+            }
+        }
+    }
+}
+
 /// Contract direction `dir` of a 3-D tensor with the vector `w`
 /// (face-trace evaluation): `dst[i1,i2] = Σ_i w[i] src[..,i,..]`.
 /// Output layout: `d1` fastest, extents `(e[d1], e[d2])`.
@@ -155,13 +365,16 @@ pub fn contract_dir<T: Real, const L: usize>(
 }
 
 /// Transpose of [`contract_dir`]: scatter a 2-D face tensor back into the
-/// 3-D tensor, `dst[..,i,..] += w[i] * src[i1,i2]`.
+/// 3-D tensor, `dst[..,i,..] += w[i] * src[i1,i2]` (or `=` when `!add`,
+/// which overwrites every entry of `dst` — `v * w` is bitwise equal to
+/// `v.mul_add(w, 0)`, so an `!add` expand equals zeroing `dst` first).
 pub fn expand_dir<T: Real, const L: usize>(
     w: &[T],
     src: &[Simd<T, L>],
     dst: &mut [Simd<T, L>],
     extents: [usize; 3],
     dir: usize,
+    add: bool,
 ) {
     debug_assert_eq!(w.len(), extents[dir]);
     let s = strides(extents);
@@ -171,8 +384,14 @@ pub fn expand_dir<T: Real, const L: usize>(
         for i1 in 0..extents[d1] {
             let base = i1 * s[d1] + i2 * s[d2];
             let v = src[i1 + extents[d1] * i2];
-            for (i, &wi) in w.iter().enumerate() {
-                dst[base + i * s[dir]] = v.mul_add(Simd::splat(wi), dst[base + i * s[dir]]);
+            if add {
+                for (i, &wi) in w.iter().enumerate() {
+                    dst[base + i * s[dir]] = v.mul_add(Simd::splat(wi), dst[base + i * s[dir]]);
+                }
+            } else {
+                for (i, &wi) in w.iter().enumerate() {
+                    dst[base + i * s[dir]] = v * Simd::splat(wi);
+                }
             }
         }
     }
@@ -266,6 +485,41 @@ mod tests {
     }
 
     #[test]
+    fn extract_insert_match_unit_contract_expand() {
+        let e = [4usize, 4, 4];
+        let src3 = rand_tensor(tensor_len(e));
+        for dir in 0..3 {
+            for idx in [0usize, 3] {
+                let mut w = [0.0f64; 4];
+                w[idx] = 1.0;
+                // extract_dir == contract_dir with a standard-basis vector
+                let mut dense = vec![V::zero(); 16];
+                let mut fast = vec![V::zero(); 16];
+                contract_dir(&w, &src3, &mut dense, e, dir);
+                extract_dir(&src3, &mut fast, e, dir, idx);
+                for (a, b) in fast.iter().zip(&dense) {
+                    for l in 0..4 {
+                        assert_eq!(a[l], b[l]);
+                    }
+                }
+                // insert_dir == expand_dir, both overwrite and accumulate
+                let src2 = rand_tensor(16);
+                for add in [false, true] {
+                    let mut dense3 = rand_tensor(tensor_len(e));
+                    let mut fast3 = dense3.clone();
+                    expand_dir(&w, &src2, &mut dense3, e, dir, add);
+                    insert_dir(&src2, &mut fast3, e, dir, idx, add);
+                    for (a, b) in fast3.iter().zip(&dense3) {
+                        for l in 0..4 {
+                            assert_eq!(a[l] + 0.0, b[l] + 0.0); // ±0 alias
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn even_odd_kernel_matches_dense_kernel() {
         let s: ShapeInfo1D<f64> = ShapeInfo1D::new(3, NodeSet::Gauss, 5);
         let e_in = [4usize, 4, 4];
@@ -287,6 +541,90 @@ mod tests {
             for (x, y) in a.iter().zip(&b) {
                 for l in 0..4 {
                     assert!((x[l] - y[l]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_1d_blocked_matches_reference_bitwise() {
+        // All directions, rectangular matrices, and run lengths that are
+        // not a multiple of CHUNK — the blocked path must agree with the
+        // gather-buffer reference to the last bit (identical fma order).
+        for (n_in, n_out) in [(2usize, 2usize), (3, 4), (5, 5), (7, 6), (6, 7)] {
+            let basis = LagrangeBasis1D::from_rule(&gauss_rule(n_in));
+            let q = gauss_rule(n_out);
+            let m: DMatrix<f64> = basis.value_matrix(&q.points);
+            for dir in 0..3 {
+                let mut e_in = [n_in + 1, n_in + 2, n_in.max(2) - 1];
+                e_in[dir] = n_in;
+                let src = rand_tensor(tensor_len(e_in));
+                let e_out = extents_after(e_in, dir, n_out);
+                for add in [false, true] {
+                    let seed = rand_tensor(tensor_len(e_out));
+                    let mut fast = seed.clone();
+                    let mut refr = seed.clone();
+                    apply_1d(&m, &src, &mut fast, e_in, dir, add);
+                    apply_1d_ref(&m, &src, &mut refr, e_in, dir, add);
+                    for (a, b) in fast.iter().zip(&refr) {
+                        for l in 0..4 {
+                            assert_eq!(
+                                a[l].to_bits(),
+                                b[l].to_bits(),
+                                "n_in={n_in} n_out={n_out} dir={dir} add={add}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_1d_eo_blocked_matches_reference_bitwise() {
+        for n in 2..=7usize {
+            let s: ShapeInfo1D<f64> = ShapeInfo1D::new(n - 1, NodeSet::Gauss, n + 1);
+            for m in [&s.values_eo, &s.gradients_eo] {
+                for dir in 0..3 {
+                    let mut e_in = [n + 1, n + 2, n.max(2) - 1];
+                    e_in[dir] = n;
+                    let src = rand_tensor(tensor_len(e_in));
+                    let e_out = extents_after(e_in, dir, m.rows());
+                    for add in [false, true] {
+                        let seed = rand_tensor(tensor_len(e_out));
+                        let mut fast = seed.clone();
+                        let mut refr = seed.clone();
+                        apply_1d_eo(m, &src, &mut fast, e_in, dir, add);
+                        apply_1d_eo_ref(m, &src, &mut refr, e_in, dir, add);
+                        for (a, b) in fast.iter().zip(&refr) {
+                            for l in 0..4 {
+                                assert_eq!(
+                                    a[l].to_bits(),
+                                    b[l].to_bits(),
+                                    "n={n} dir={dir} add={add}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_dir_overwrite_equals_zero_then_add() {
+        let s: ShapeInfo1D<f64> = ShapeInfo1D::new(3, NodeSet::Gauss, 4);
+        let e = [4usize, 4, 4];
+        for dir in 0..3 {
+            let w = &s.face_values[0];
+            let face = rand_tensor(16);
+            let mut a = rand_tensor(64); // arbitrary garbage: must be overwritten
+            expand_dir(w, &face, &mut a, e, dir, false);
+            let mut b = vec![V::zero(); 64];
+            expand_dir(w, &face, &mut b, e, dir, true);
+            for (x, y) in a.iter().zip(&b) {
+                for l in 0..4 {
+                    assert_eq!(x[l].to_bits(), y[l].to_bits());
                 }
             }
         }
@@ -315,7 +653,7 @@ mod tests {
                 }
             }
             let mut back = vec![V::zero(); 27];
-            expand_dir(w, &face, &mut back, e, dir);
+            expand_dir(w, &face, &mut back, e, dir, true);
             // only the last layer is touched
             for i2 in 0..3 {
                 for i1 in 0..3 {

@@ -3,8 +3,9 @@
 //! Implements the API subset the `dgflow-bench` harness uses — groups,
 //! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`, and
 //! the `criterion_group!`/`criterion_main!` macros — as a simple wall-clock
-//! harness: warm up briefly, then time batches until a fixed measurement
-//! budget and report mean ns/iter (plus throughput when configured). No
+//! harness: warm up briefly, then time several equal batches within a fixed
+//! measurement budget and report the fastest batch's ns/iter (best-of-N;
+//! plus throughput when configured). No
 //! statistics, plots, or baselines; numbers are indicative, not rigorous.
 //!
 //! Set `CRITERION_JSON=<path>` to additionally record every report as a
@@ -115,13 +116,21 @@ fn run_benchmark(c: &Criterion, mut f: impl FnMut(&mut Bencher)) -> Report {
     b.iters = warmup_iters;
     f(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1)) / (b.iters as u32);
-    let measure_iters =
-        (c.measurement_time.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000_000) as u64;
-    b.iters = measure_iters;
-    f(&mut b);
-    Report {
-        ns_per_iter: b.elapsed.as_nanos() as f64 / b.iters as f64,
+    // Measure: split the budget into equal batches and keep the fastest
+    // one (best-of-N, the paper's measurement protocol) — a single batch
+    // hit by scheduler noise cannot inflate the estimate, which matters
+    // for the `bench-check` regression gate.
+    const BATCHES: u32 = 5;
+    let batch_iters = (c.measurement_time.as_nanos()
+        / (u128::from(BATCHES) * per_iter.as_nanos().max(1)))
+    .clamp(1, 100_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        b.iters = batch_iters;
+        f(&mut b);
+        best = best.min(b.elapsed.as_nanos() as f64 / b.iters as f64);
     }
+    Report { ns_per_iter: best }
 }
 
 fn print_report(name: &str, report: &Report, throughput: Option<Throughput>) {
@@ -206,9 +215,20 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Budgets are overridable so regression gates can trade wall time
+        // for variance (`CRITERION_MEASUREMENT_MS`): on a noisy shared
+        // machine the best-of-N estimate converges with the number of
+        // batches that fit the measurement window.
+        let ms_env = |key: &str, default: u64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        };
         Self {
-            warm_up_time: Duration::from_millis(100),
-            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(ms_env("CRITERION_WARMUP_MS", 100)),
+            measurement_time: Duration::from_millis(ms_env("CRITERION_MEASUREMENT_MS", 400)),
         }
     }
 }

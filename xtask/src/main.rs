@@ -25,6 +25,7 @@
 //! * `ci` — everything above plus fmt, build, and tests, in CI order.
 
 mod audit;
+mod bench;
 
 use std::process::{Command, ExitCode};
 
@@ -36,6 +37,8 @@ fn main() -> ExitCode {
     };
     let ok = match cmd {
         "lint" => lint(),
+        "bench-check" => bench::bench_check(rest),
+        "fig06" => bench::fig06(),
         "unsafe-audit" => audit::run(rest),
         "miri" => miri(rest.iter().any(|a| a == "--strict")),
         "model" => model(),
@@ -64,12 +67,14 @@ fn print_help() {
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
          lint          clippy lint wall over the whole workspace (warnings denied)\n  \
+         bench-check   matvec throughput gate vs the committed baseline (--quick, --update)\n  \
+         fig06         regenerate results/fig06_throughput.md from BENCH_matvec.json\n  \
          unsafe-audit  repo-specific unsafe/transmute/unwrap source audit\n  \
          miri          run the curated miri test subset (nightly; --strict to fail when unavailable)\n  \
          model         dgcheck concurrency model checker over the comm/runtime kernels (--cfg dgcheck_model)\n  \
          tsan          ThreadSanitizer over the comm/runtime test suites (nightly; --strict to fail when unavailable)\n  \
          runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + model + runtime-smoke + miri + tsan"
+         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + miri + tsan"
     );
 }
 
@@ -353,6 +358,21 @@ fn ci() -> bool {
                 "dgflow-fem/check-disjoint,dgflow-comm/check-disjoint",
             ]),
         )
+        && step(
+            "test kernel equivalence (release)",
+            cargo().args([
+                "test",
+                "-q",
+                "-p",
+                "dgflow-fem",
+                "--release",
+                "--test",
+                "kernel_equiv",
+                "--test",
+                "proptest_cg_gather",
+            ]),
+        )
+        && bench::bench_check(&["--quick".into()])
         && model()
         && runtime_smoke()
         && miri(false)
