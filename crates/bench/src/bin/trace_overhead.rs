@@ -1,0 +1,89 @@
+//! Tracing overhead gate: the k=3 DG double-precision Laplacian mat-vec
+//! with full tracing (fine level, no sampling) must stay within a few
+//! percent of the tracing-off time.
+//!
+//! `trace_overhead [k] [g]` — defaults k=3, g=2 (quick-gate sizing).
+//! The on/off measurements are interleaved round-robin and the best time
+//! of each side is compared, so slow machine drift hits both sides
+//! equally and only the *relative* cost of the instrumentation is gated.
+//! Tolerance: 5%, overridable via `DGFLOW_TRACE_OVERHEAD_TOL` (fraction,
+//! e.g. `0.08`). Exits nonzero on a breach — wired into
+//! `cargo xtask bench-check --quick`.
+
+use dgflow_bench::{best_time, lung_forest};
+use dgflow_fem::{LaplaceOperator, MatrixFree, MfParams};
+use dgflow_mesh::TrilinearManifold;
+use dgflow_solvers::LinearOperator;
+use std::sync::Arc;
+
+const ROUNDS: usize = 5;
+const REPS: usize = 8;
+const DEFAULT_TOL: f64 = 0.05;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let g: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let tol: f64 = std::env::var("DGFLOW_TRACE_OVERHEAD_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TOL);
+
+    let (forest, _) = lung_forest(g, false, 0);
+    let manifold = TrilinearManifold::from_forest(&forest);
+    let op = LaplaceOperator::new(Arc::new(MatrixFree::<f64, 8>::new(
+        &forest,
+        &manifold,
+        MfParams::dg(k),
+    )));
+    let n = op.len();
+    let src: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 0.1).collect();
+    let mut dst = vec![0.0; n];
+
+    // Warm caches and the thread pool before any timed work.
+    dgflow_trace::set_level(dgflow_trace::Level::Off);
+    for _ in 0..3 {
+        op.apply(&src, &mut dst);
+    }
+
+    dgflow_trace::set_fine_sample(1);
+    let mut t_off = f64::INFINITY;
+    let mut t_on = f64::INFINITY;
+    for round in 0..ROUNDS {
+        dgflow_trace::set_level(dgflow_trace::Level::Off);
+        let off = best_time(REPS, || op.apply(&src, &mut dst));
+        dgflow_trace::set_level(dgflow_trace::Level::Fine);
+        let on = best_time(REPS, || op.apply(&src, &mut dst));
+        dgflow_trace::set_level(dgflow_trace::Level::Off);
+        // Drain so the rings never saturate and later rounds measure the
+        // steady-state push cost, not the full-ring drop path.
+        let drained = dgflow_trace::take_spans().len();
+        println!(
+            "round {round}: off {:.3} ms, on {:.3} ms ({drained} spans)",
+            off * 1e3,
+            on * 1e3
+        );
+        t_off = t_off.min(off);
+        t_on = t_on.min(on);
+    }
+
+    let overhead = t_on / t_off - 1.0;
+    println!(
+        "trace overhead k={k} g={g} (n_dofs={n}): off {:.3} ms, on {:.3} ms, \
+         overhead {:+.2}% (tolerance {:.0}%, dropped {})",
+        t_off * 1e3,
+        t_on * 1e3,
+        overhead * 100.0,
+        tol * 100.0,
+        dgflow_trace::dropped_spans()
+    );
+    if overhead > tol {
+        eprintln!(
+            "trace_overhead: FAILED — full tracing costs {:.2}% on the k={k} DG DP \
+             mat-vec, above the {:.0}% budget (override: DGFLOW_TRACE_OVERHEAD_TOL)",
+            overhead * 100.0,
+            tol * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,16 @@
 //! asserts pairwise disjointness of the per-thread write sets (see
 //! [`crate::race`]): a purpose-built race detector for the conflict-colored
 //! assembly loops.
+//!
+//! Tracing: each worker records a fine-grained `pool.job` span per job
+//! (its busy interval within a run), the caller records a coarse
+//! `pool.run` span, and the join barrier drains every thread's span ring
+//! into the process collector — the natural quiescent point, so rings
+//! never need to hold more than one run. The caller samples the tracing
+//! level once per run into `Job::traced`; workers never read the shared
+//! level flag on their dispatch path. All of it is compiled out under
+//! `--cfg dgcheck_model`: the model checker schedules the shim primitives
+//! cooperatively and must not block on the tracer's real locks.
 
 use dgflow_check::sync::atomic::{AtomicUsize, Ordering};
 use dgflow_check::sync::{Condvar, Mutex};
@@ -37,6 +47,12 @@ struct Job {
     /// because `ThreadPool::run` blocks until every worker reports done.
     func: &'static (dyn Fn(usize) + Sync),
     n_tasks: usize,
+    /// Fine tracing was enabled when the job was dispatched. The caller
+    /// samples the level once per run so the workers never touch the
+    /// shared level flag on their dispatch hot path — with many workers
+    /// waking at once, even that read-only load is measurable on small
+    /// runs.
+    traced: bool,
     counter: Arc<AtomicUsize>,
     done: Arc<(Mutex<usize>, Condvar)>,
     panic_slot: PanicSlot,
@@ -54,11 +70,24 @@ impl ThreadPool {
     /// which participates in every run).
     pub fn new(n_workers: usize) -> Self {
         let mut senders = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
+        for w in 0..n_workers {
             let (tx, rx) = channel::unbounded::<Job>();
             senders.push(tx);
             thread::spawn(move || {
+                #[cfg(not(dgcheck_model))]
+                dgflow_trace::set_thread_track_name(&format!("pool-{w}"));
+                #[cfg(dgcheck_model)]
+                let _ = w;
                 while let Ok(job) = rx.recv() {
+                    // The job span must close before the done count below:
+                    // the caller drains the span rings right after the join
+                    // barrier, and an in-flight span would miss that drain.
+                    #[cfg(not(dgcheck_model))]
+                    let job_span = job.traced.then(|| {
+                        dgflow_trace::span_fine("pool", "pool.job").meta(job.n_tasks as u64)
+                    });
+                    #[cfg(dgcheck_model)]
+                    let _ = job.traced;
                     #[cfg(feature = "check-disjoint")]
                     race::enter_run(&job.recorder);
                     // Catch panics so a poisoned task can neither abort the
@@ -76,6 +105,8 @@ impl ThreadPool {
                     }));
                     #[cfg(feature = "check-disjoint")]
                     race::exit_run();
+                    #[cfg(not(dgcheck_model))]
+                    drop(job_span);
                     if let Err(payload) = result {
                         let mut slot = job.panic_slot.lock();
                         if slot.is_none() {
@@ -137,6 +168,12 @@ impl ThreadPool {
         // and only re-raised after all workers reported done — so no worker
         // can observe `f` after `run` returns or unwinds.
         let func: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        #[cfg(not(dgcheck_model))]
+        let traced = dgflow_trace::enabled(dgflow_trace::Level::Fine);
+        #[cfg(dgcheck_model)]
+        let traced = false;
+        #[cfg(not(dgcheck_model))]
+        let _run_span = dgflow_trace::span("pool", "pool.run").meta(n_tasks as u64);
         let counter = Arc::new(AtomicUsize::new(0));
         let done = Arc::new((Mutex::new(0usize), Condvar::new()));
         let panic_slot: PanicSlot = Arc::new(Mutex::new(None));
@@ -146,6 +183,7 @@ impl ThreadPool {
             s.send(Job {
                 func,
                 n_tasks,
+                traced,
                 counter: counter.clone(),
                 done: done.clone(),
                 panic_slot: panic_slot.clone(),
@@ -175,6 +213,12 @@ impl ThreadPool {
             while *finished < self.senders.len() {
                 cv.wait(&mut finished);
             }
+        }
+        // Every worker is idle past the barrier: a quiescent point, so the
+        // caller can drain all span rings into the process collector.
+        #[cfg(not(dgcheck_model))]
+        if dgflow_trace::level() != dgflow_trace::Level::Off {
+            dgflow_trace::collect();
         }
         if let Err(payload) = caller_result {
             std::panic::resume_unwind(payload);

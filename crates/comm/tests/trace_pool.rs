@@ -1,0 +1,95 @@
+//! The pool's join barrier drains every worker's span ring: after `run`
+//! returns, no job span may be lost — under `--features check-disjoint`
+//! too, where the barrier additionally replays the race detector.
+
+use dgflow_comm::par::ThreadPool;
+use dgflow_trace as trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tracing level and the collector are process-global; serialize the
+/// tests in this binary and drain leftovers before counting.
+static LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn barrier_drain_loses_no_job_spans() {
+    let _g = LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    trace::set_level(trace::Level::Off);
+    let _ = trace::take_spans(); // discard spans from earlier tests
+    let dropped_before = trace::dropped_spans();
+
+    const WORKERS: usize = 3;
+    const RUNS: usize = 200;
+    const TASKS: usize = 64;
+    let pool = ThreadPool::new(WORKERS);
+    // Warm the pool once with tracing off so worker startup cost stays out
+    // of the measured runs.
+    pool.run(TASKS, &|_| {});
+
+    trace::set_level(trace::Level::Fine);
+    trace::set_fine_sample(1);
+    let hits = AtomicUsize::new(0);
+    for _ in 0..RUNS {
+        pool.run(TASKS, &|_| {
+            // ordering: Relaxed — pure counter; `run`'s join barrier
+            // publishes it to the asserting thread.
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    trace::set_level(trace::Level::Off);
+    // ordering: Relaxed — read after the join barrier, see above.
+    assert_eq!(hits.load(Ordering::Relaxed), RUNS * TASKS);
+
+    let spans = trace::take_spans();
+    let job_spans: Vec<_> = spans.iter().filter(|s| s.name == "pool.job").collect();
+    let run_spans: Vec<_> = spans.iter().filter(|s| s.name == "pool.run").collect();
+    // Every worker receives every job exactly once; the caller opens one
+    // run span per run.
+    assert_eq!(
+        job_spans.len(),
+        WORKERS * RUNS,
+        "job spans lost or duplicated"
+    );
+    assert_eq!(run_spans.len(), RUNS);
+    assert_eq!(
+        trace::dropped_spans(),
+        dropped_before,
+        "barrier drain must keep rings from overflowing"
+    );
+    // Job spans carry the task count and resolve to named worker tracks.
+    let tracks = trace::thread_tracks();
+    for s in &job_spans {
+        assert_eq!(s.meta, TASKS as u64);
+        let name = &tracks
+            .iter()
+            .find(|(tid, _)| *tid == s.tid)
+            .expect("job span from unregistered thread")
+            .1;
+        assert!(name.starts_with("pool-"), "worker track name, got {name}");
+    }
+    // Each run span covers the job spans of that run (the caller opens it
+    // before dispatch and the barrier closes after every worker is done).
+    let total_job: u64 = job_spans.iter().map(|s| s.duration_ns()).sum();
+    let total_run: u64 = run_spans.iter().map(|s| s.duration_ns()).sum();
+    assert!(
+        total_job <= total_run * WORKERS as u64,
+        "{WORKERS} workers cannot be busy longer than {WORKERS}x the run wall time"
+    );
+}
+
+#[test]
+fn tracing_off_records_nothing_from_the_pool() {
+    let _g = LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    trace::set_level(trace::Level::Off);
+    let _ = trace::take_spans();
+    let pool = ThreadPool::new(2);
+    pool.run(128, &|_| {});
+    assert!(
+        trace::take_spans().iter().all(|s| s.cat != "pool"),
+        "pool spans recorded with tracing off"
+    );
+}

@@ -258,6 +258,7 @@ impl<const L: usize> FlowSolver<L> {
     /// Advance one time step (BDF1 on the first step, BDF2 afterwards).
     pub fn step(&mut self) -> StepInfo {
         let t0 = Instant::now();
+        let _step_span = dgflow_trace::span("core", "step").meta(self.step_count as u64);
         let dt = self.dt;
         let coeff = if self.step_count == 0 {
             BdfCoefficients::bdf1()
@@ -269,6 +270,7 @@ impl<const L: usize> FlowSolver<L> {
 
         // (1) explicit convective step
         let tc = Instant::now();
+        let sp_stage = dgflow_trace::span("core", "step.convective");
         let mut conv = vec![0.0; n_u];
         convective_term(&self.mf_u, &self.bcs, &self.velocity, &mut conv);
         let mut u_hat = vec![0.0; n_u];
@@ -295,10 +297,12 @@ impl<const L: usize> FlowSolver<L> {
             }
         }
 
+        drop(sp_stage);
         let convective_seconds = tc.elapsed().as_secs_f64();
 
         // (2) pressure Poisson step
         let tp = Instant::now();
+        let sp_stage = dgflow_trace::span("core", "step.pressure");
         let mut div = vec![0.0; self.pressure.len()];
         divergence(&self.mf_u, &self.mf_p, &self.bcs, &u_hat, &mut div);
         let bcs = &self.bcs;
@@ -324,10 +328,12 @@ impl<const L: usize> FlowSolver<L> {
             self.params.rel_tol,
             500,
         );
+        drop(sp_stage);
         let pressure_seconds = tp.elapsed().as_secs_f64();
 
         // (3) projection
         let tg = Instant::now();
+        let sp_stage = dgflow_trace::span("core", "step.projection");
         let mut gp = vec![0.0; n_u];
         gradient(&self.mf_u, &self.mf_p, &self.bcs, &self.pressure, &mut gp);
         {
@@ -345,10 +351,12 @@ impl<const L: usize> FlowSolver<L> {
                 }
             }
         }
+        drop(sp_stage);
         let projection_seconds = tg.elapsed().as_secs_f64();
 
         // (4) viscous step, component by component
         let tv = Instant::now();
+        let sp_stage = dgflow_trace::span("core", "step.viscous");
         self.helmholtz.set_factor(gamma_dt);
         let hh_diag = dgflow_solvers::LinearOperator::diagonal(&self.helmholtz);
         let hh_jacobi = JacobiPreconditioner::new(hh_diag);
@@ -378,10 +386,12 @@ impl<const L: usize> FlowSolver<L> {
             }
         }
 
+        drop(sp_stage);
         let viscous_seconds = tv.elapsed().as_secs_f64();
 
         // (5) penalty step
         let tpen = Instant::now();
+        let sp_stage = dgflow_trace::span("core", "step.penalty");
         let u_scale = cell_velocity_scale(&self.mf_u, &u_star);
         let pen = PenaltyOperator::new(
             &self.mf_u,
@@ -413,6 +423,7 @@ impl<const L: usize> FlowSolver<L> {
             self.params.rel_tol,
             500,
         );
+        drop(sp_stage);
         let penalty_seconds = tpen.elapsed().as_secs_f64();
 
         // rotate state, adapt Δt

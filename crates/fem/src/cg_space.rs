@@ -462,6 +462,9 @@ pub struct CgLaplaceOperator<T: Real, const L: usize> {
     pub bc: Vec<BoundaryCondition>,
     /// Per-batch merged symmetric cell coefficient for the fused kernel.
     coeff: Vec<Vec<Simd<T, L>>>,
+    /// Modeled Flop per application, for the roofline tag on the
+    /// `cg_laplace.apply` span.
+    flops_per_apply: f64,
 }
 
 impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
@@ -473,7 +476,20 @@ impl<T: Real, const L: usize> CgLaplaceOperator<T, L> {
     /// Explicit boundary conditions.
     pub fn with_bc(space: Arc<CgSpace<T, L>>, bc: Vec<BoundaryCondition>) -> Self {
         let coeff = laplace_cell_coeff(&space.mf);
-        Self { space, bc, coeff }
+        // The DG work model over-counts the (cheaper) CG apply — shared
+        // dofs and no interior face terms — but keeps the span tags on one
+        // consistent scale across the multigrid hierarchy.
+        let counts = dgflow_perfmodel::LaplaceCounts::new(
+            space.mf.params.degree,
+            std::mem::size_of::<T>() as f64,
+        );
+        let flops_per_apply = counts.flops_per_dof * space.n_dofs as f64;
+        Self {
+            space,
+            bc,
+            coeff,
+            flops_per_apply,
+        }
     }
 
     fn bc_of(&self, id: u32) -> BoundaryCondition {
@@ -870,6 +886,7 @@ impl<T: Real, const L: usize> LinearOperator<T> for CgLaplaceOperator<T, L> {
     }
 
     fn apply(&self, src: &[T], dst: &mut [T]) {
+        let _sp = dgflow_trace::span("fem", "cg_laplace.apply").work(self.flops_per_apply);
         let space = &*self.space;
         let mf = &*space.mf;
         dst.iter_mut().for_each(|v| *v = T::ZERO);

@@ -34,6 +34,9 @@ pub struct LaplaceOperator<T: Real, const L: usize> {
     /// Per-batch merged symmetric cell coefficient (6 batches per
     /// quadrature point) for the fused cell kernel.
     coeff: Vec<Vec<Simd<T, L>>>,
+    /// Modeled Flop per full operator application, for the roofline tag on
+    /// the `laplace.apply` span.
+    flops_per_apply: f64,
 }
 
 impl<T: Real, const L: usize> LaplaceOperator<T, L> {
@@ -45,7 +48,15 @@ impl<T: Real, const L: usize> LaplaceOperator<T, L> {
     /// Create with explicit per-id boundary conditions.
     pub fn with_bc(mf: Arc<MatrixFree<T, L>>, bc: Vec<BoundaryCondition>) -> Self {
         let coeff = laplace_cell_coeff(&mf);
-        Self { mf, bc, coeff }
+        let counts =
+            dgflow_perfmodel::LaplaceCounts::new(mf.params.degree, std::mem::size_of::<T>() as f64);
+        let flops_per_apply = counts.flops_per_dof * mf.n_dofs() as f64;
+        Self {
+            mf,
+            bc,
+            coeff,
+            flops_per_apply,
+        }
     }
 
     /// Boundary condition of a boundary id.
@@ -364,6 +375,7 @@ impl<T: Real, const L: usize> LinearOperator<T> for LaplaceOperator<T, L> {
     }
 
     fn apply(&self, src: &[T], dst: &mut [T]) {
+        let _sp = dgflow_trace::span("fem", "laplace.apply").work(self.flops_per_apply);
         let mf = &*self.mf;
         dst.iter_mut().for_each(|v| *v = T::ZERO);
         let out = SharedMut::new(dst);

@@ -245,6 +245,7 @@ impl<T: Real, const L: usize> HybridMultigrid<T, L> {
 
     /// One V-cycle: `x ≈ A⁻¹ b` on level `li`.
     pub fn vcycle(&self, li: usize, b: &[T], x: &mut [T]) {
+        let _sp = dgflow_trace::span_fine("mg", "mg.vcycle.level").meta(li as u64);
         let level = &self.levels[li];
         let n = level.op.len();
         // pre-smooth from zero
@@ -315,6 +316,7 @@ pub struct MixedPrecisionMg<const L: usize> {
 
 impl<const L: usize> Preconditioner<f64> for MixedPrecisionMg<L> {
     fn apply_precond(&self, src: &[f64], dst: &mut [f64]) {
+        let _sp = dgflow_trace::span("mg", "mg.precond");
         let scale = src.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if scale == 0.0 {
             dst.iter_mut().for_each(|v| *v = 0.0);

@@ -4,22 +4,38 @@
 //! dgflow run      <campaign.toml>        start a fresh campaign
 //! dgflow resume   <campaign.toml|dir>    continue a killed/cancelled one
 //! dgflow validate <campaign.toml>        parse + validate, print the plan
-//! dgflow status   <campaign.toml|dir>    print the manifest
+//! dgflow status   <campaign.toml|dir>    manifest with step rate and ETA
+//! dgflow trace    <case-dir|telemetry.jsonl>  export trace.json (Perfetto)
 //! ```
+//!
+//! `run`/`resume` honour `DGFLOW_TRACE` (`0`/`coarse`/`fine`) and
+//! `DGFLOW_TRACE_SAMPLE`; span and metrics records land in each case's
+//! `telemetry.jsonl`, which `dgflow trace` converts to the Chrome
+//! trace-event format (load in Perfetto or `chrome://tracing`).
 //!
 //! Exit codes: `0` success (for `run`/`resume`: every case completed),
 //! `1` the campaign ran but at least one case did not complete, `2`
 //! usage/spec/IO errors.
 
 use dgflow_comm::CancelToken;
+use dgflow_runtime::json::{self, Json};
 use dgflow_runtime::manifest::Manifest;
+use dgflow_runtime::telemetry::dedup_steps;
 use dgflow_runtime::{run_campaign, CampaignSpec};
+use dgflow_trace::SpanRecord;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dgflow <run|resume|validate|status> <campaign.toml|output-dir>";
+const USAGE: &str = "usage: dgflow <run|resume|validate|status|trace> <target>\n\
+  run      <campaign.toml>        start a fresh campaign\n\
+  resume   <campaign.toml|dir>    continue a killed/cancelled one\n\
+  validate <campaign.toml>        parse + validate, print the plan\n\
+  status   <campaign.toml|dir>    manifest with step rate and ETA\n\
+  trace    <case-dir|telemetry.jsonl>  export trace.json (Perfetto)";
 
 fn main() -> ExitCode {
+    dgflow_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, target) = match args.as_slice() {
         [cmd, target] => (cmd.as_str(), PathBuf::from(target)),
@@ -37,6 +53,7 @@ fn main() -> ExitCode {
         "resume" => campaign_cmd(&target, true),
         "validate" => validate(&target),
         "status" => status(&target),
+        "trace" => trace_cmd(&target),
         other => {
             eprintln!("dgflow: unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -152,14 +169,33 @@ fn status(target: &Path) -> ExitCode {
     match Manifest::load(&dir) {
         Ok(m) => {
             println!("campaign `{}` ({})", m.campaign, dir.display());
+            println!(
+                "  {:<20} {:<10} {:>6}/{:<6} {:>9} {:>9} {:>9}",
+                "case", "status", "done", "target", "wall", "step/s", "eta"
+            );
             for c in &m.cases {
+                let live = step_rate(&dir.join(&c.name).join("telemetry.jsonl"));
+                let (rate, eta) = match live {
+                    Some(per_step) if per_step > 0.0 => {
+                        let remaining = c.steps_target.saturating_sub(c.steps_done);
+                        let eta = if c.steps_done >= c.steps_target {
+                            "-".to_string()
+                        } else {
+                            format_eta(remaining as f64 * per_step)
+                        };
+                        (format!("{:.2}", 1.0 / per_step), eta)
+                    }
+                    _ => ("-".to_string(), "-".to_string()),
+                };
                 println!(
-                    "  {:<20} {:<10} {:>6}/{:<6} {:>9.2}s {}",
+                    "  {:<20} {:<10} {:>6}/{:<6} {:>8.2}s {:>9} {:>9} {}",
                     c.name,
                     c.status.as_str(),
                     c.steps_done,
                     c.steps_target,
                     c.wall_seconds,
+                    rate,
+                    eta,
                     c.error.as_deref().unwrap_or("")
                 );
             }
@@ -170,4 +206,166 @@ fn status(target: &Path) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Mean wall seconds per step over the trailing window of the case's
+/// telemetry, after collapsing retried `(case, step)` pairs to their
+/// last attempt. `None` when there is no telemetry yet.
+fn step_rate(telemetry: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(telemetry).ok()?;
+    let records: Vec<Json> = text.lines().filter_map(|l| json::parse(l).ok()).collect();
+    let keep = dedup_steps(&records);
+    // Trailing window: the current rate matters more than the mean over a
+    // run that may span restarts and cold caches.
+    const WINDOW: usize = 32;
+    let walls: Vec<f64> = keep
+        .iter()
+        .rev()
+        .take(WINDOW)
+        .filter_map(|&i| records[i].get("wall_seconds").and_then(Json::as_f64))
+        .collect();
+    if walls.is_empty() {
+        return None;
+    }
+    Some(walls.iter().sum::<f64>() / walls.len() as f64)
+}
+
+fn format_eta(seconds: f64) -> String {
+    if seconds >= 3600.0 {
+        format!("{:.1}h", seconds / 3600.0)
+    } else if seconds >= 60.0 {
+        format!("{:.1}m", seconds / 60.0)
+    } else {
+        format!("{seconds:.0}s")
+    }
+}
+
+/// `dgflow trace`: convert a case's `telemetry.jsonl` span/thread records
+/// into Chrome trace-event JSON next to it (`trace.json`), keeping only
+/// each case's final attempt, and report how well the traced kernel spans
+/// reconcile with the `case_summary` stage timers.
+fn trace_cmd(target: &Path) -> ExitCode {
+    let jsonl = if target.is_dir() {
+        target.join("telemetry.jsonl")
+    } else {
+        target.to_path_buf()
+    };
+    let text = match std::fs::read_to_string(&jsonl) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dgflow: {}: {e}", jsonl.display());
+            return ExitCode::from(2);
+        }
+    };
+    let records: Vec<Json> = text.lines().filter_map(|l| json::parse(l).ok()).collect();
+
+    // A rerun restarts the trace epoch, so timelines from different
+    // attempts must not be overlaid: keep the final attempt per case.
+    let mut last_attempt: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in &records {
+        if let (Some(case), Some(attempt)) = (
+            rec.get("case").and_then(Json::as_str),
+            rec.get("attempt").and_then(Json::as_usize),
+        ) {
+            let e = last_attempt.entry(case.to_string()).or_insert(attempt);
+            *e = (*e).max(attempt);
+        }
+    }
+    let is_final = |rec: &Json| -> bool {
+        let case = rec.get("case").and_then(Json::as_str).unwrap_or("");
+        let attempt = rec.get("attempt").and_then(Json::as_usize).unwrap_or(0);
+        last_attempt.get(case).copied().unwrap_or(0) == attempt
+    };
+
+    // `SpanRecord` holds interned `&'static str` names; leak each distinct
+    // string once (bounded: span names are a small static vocabulary).
+    let mut interned: HashMap<String, &'static str> = HashMap::new();
+    let mut intern = |s: &str| -> &'static str {
+        if let Some(&v) = interned.get(s) {
+            return v;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        interned.insert(s.to_string(), leaked);
+        leaked
+    };
+
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut tracks: BTreeMap<u32, String> = BTreeMap::new();
+    for rec in records.iter().filter(|r| is_final(r)) {
+        match rec.get("type").and_then(Json::as_str) {
+            Some("thread") => {
+                let tid = rec.get("tid").and_then(Json::as_usize).unwrap_or(0) as u32;
+                let name = rec.get("name").and_then(Json::as_str).unwrap_or("?");
+                tracks.insert(tid, name.to_string());
+            }
+            Some("span") => {
+                let num = |k: &str| rec.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+                let start_ns = num("ts_ns") as u64;
+                spans.push(SpanRecord {
+                    name: intern(rec.get("name").and_then(Json::as_str).unwrap_or("?")),
+                    cat: intern(rec.get("cat").and_then(Json::as_str).unwrap_or("?")),
+                    start_ns,
+                    end_ns: start_ns + num("dur_ns") as u64,
+                    depth: num("depth") as u16,
+                    tid: num("tid") as u32,
+                    meta: rec
+                        .get("meta")
+                        .and_then(Json::as_f64)
+                        .map_or(u64::MAX, |m| m as u64),
+                    work_flops: num("work_flops"),
+                });
+            }
+            _ => {}
+        }
+    }
+    if spans.is_empty() {
+        eprintln!(
+            "dgflow: {}: no span records (run the campaign with DGFLOW_TRACE=coarse or fine)",
+            jsonl.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let track_list: Vec<(u32, String)> = tracks.into_iter().collect();
+    let chrome = dgflow_trace::chrome_trace(&spans, &track_list);
+    let out_path = jsonl.parent().unwrap_or(Path::new(".")).join("trace.json");
+    if let Err(e) = std::fs::write(&out_path, chrome) {
+        eprintln!("dgflow: {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "{}: {} span(s) on {} track(s) -> {}",
+        jsonl.display(),
+        spans.len(),
+        track_list.len(),
+        out_path.display()
+    );
+
+    // Reconciliation: the per-stage spans in `core::solver::step` bracket
+    // the same intervals as the `kernel_seconds` timers, so their totals
+    // should agree to within a percent.
+    for rec in records.iter().filter(|r| is_final(r)) {
+        if rec.get("type").and_then(Json::as_str) != Some("case_summary") {
+            continue;
+        }
+        let case = rec.get("case").and_then(Json::as_str).unwrap_or("?");
+        let summary_s: f64 = rec
+            .get("kernel_seconds")
+            .and_then(Json::to_map)
+            .map(|m| m.values().filter_map(|v| v.as_f64()).sum())
+            .unwrap_or(0.0);
+        let span_s: f64 = spans
+            .iter()
+            .filter(|s| s.cat == "core" && s.name.starts_with("step."))
+            .map(|s| s.duration_ns() as f64 * 1e-9)
+            .sum();
+        if summary_s > 0.0 {
+            let diff = 100.0 * (span_s - summary_s).abs() / summary_s;
+            println!(
+                "{case}: stage spans {span_s:.3}s vs case_summary kernels {summary_s:.3}s \
+                 ({diff:.2}% apart)"
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }

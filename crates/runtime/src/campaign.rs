@@ -248,12 +248,20 @@ fn run_case(
         c.error = None;
     })?;
 
+    // Span attribution caveat: `take_spans` drains the process-global
+    // collector, so with `max_parallel > 1` a drain may pick up spans of
+    // another concurrently running case. Exact per-case attribution holds
+    // for the default `max_parallel = 1` (see DESIGN.md §11).
+    let tracing_on = dgflow_trace::level() != dgflow_trace::Level::Off;
+
+    let sp_setup = dgflow_trace::span("case", "case.setup");
     let mut active = ActiveCase::build(case, cache);
     if ck_path.exists() {
         let bytes = std::fs::read(&ck_path)?;
         let ck = Checkpoint::read(&mut bytes.as_slice())?;
         active.restore(&ck)?;
     }
+    drop(sp_setup);
 
     let n_dofs_u = 3 * active.solver.mf_u.n_dofs();
     let n_dofs_p = active.solver.mf_p.n_dofs();
@@ -264,6 +272,9 @@ fn run_case(
         n_dofs_p,
         case.telemetry_every,
     )?;
+    if tracing_on {
+        telem.record_spans(&dgflow_trace::take_spans(), &dgflow_trace::thread_tracks())?;
+    }
 
     let mut status = CaseStatus::Completed;
     let start = Instant::now();
@@ -276,8 +287,15 @@ fn run_case(
         let info = active.step();
         let done = active.solver.step_count;
         telem.record_step(done, &info)?;
+        if tracing_on {
+            // Step boundary = quiescent point: every span of this step is
+            // closed, so the drain is complete and cheap.
+            telem.record_spans(&dgflow_trace::take_spans(), &dgflow_trace::thread_tracks())?;
+        }
         if done.is_multiple_of(checkpoint_every) || done == case.steps {
+            let sp_ck = dgflow_trace::span("case", "case.checkpoint").meta(done as u64);
             write_checkpoint_file(&ck_path, &active.capture())?;
+            drop(sp_ck);
             telem.record_checkpoint(done)?;
             let wall = start.elapsed().as_secs_f64();
             let delta = wall - synced_wall;
@@ -296,6 +314,9 @@ fn run_case(
     if status == CaseStatus::Cancelled && active.solver.step_count > 0 {
         write_checkpoint_file(&ck_path, &active.capture())?;
         telem.record_checkpoint(active.solver.step_count)?;
+    }
+    if tracing_on {
+        telem.record_spans(&dgflow_trace::take_spans(), &dgflow_trace::thread_tracks())?;
     }
     telem.record_summary(case.degree, status.as_str())?;
     let summary = telem.case_summary(case.degree, status.as_str());

@@ -119,6 +119,24 @@ impl<T> BoundedQueue<T> {
 /// buffering) is the point of a bounded queue.
 const QUEUE_SLACK: usize = 2;
 
+/// Publish the scheduler queue depth to the metrics registry. Compiled
+/// out under the model checker: the registry uses real locks, which the
+/// cooperative model scheduler cannot see (same reasoning as the tracing
+/// gates in `dgflow_comm::par`).
+#[cfg(not(dgcheck_model))]
+fn record_queue_depth(depth: usize) {
+    use std::sync::OnceLock;
+    static GAUGE: OnceLock<std::sync::Arc<dgflow_trace::Gauge>> = OnceLock::new();
+    if dgflow_trace::enabled(dgflow_trace::Level::Coarse) {
+        GAUGE
+            .get_or_init(|| dgflow_trace::gauge("sched.queue_depth"))
+            .set(depth as f64);
+    }
+}
+
+#[cfg(dgcheck_model)]
+fn record_queue_depth(_depth: usize) {}
+
 /// Run `jobs` on `max_parallel` dedicated worker threads.
 ///
 /// Each job receives the [`CancelToken`] and its submission index.
@@ -143,6 +161,7 @@ where
             let results = &results;
             handles.push(scope.spawn(move || {
                 while let Some((idx, job)) = queue.pop() {
+                    record_queue_depth(queue.len());
                     if cancel.is_cancelled() {
                         // Leave the slot `None`; keep draining so closed
                         // producers are not left blocked on a full queue.
@@ -163,6 +182,7 @@ where
             if !queue.push((idx, job)) {
                 break;
             }
+            record_queue_depth(queue.len());
         }
         queue.close();
 

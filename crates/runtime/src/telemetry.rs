@@ -2,27 +2,43 @@
 //! emitted as JSONL per case plus a campaign summary table.
 //!
 //! Every record is one JSON object per line with a `type` tag, so the
-//! files stream into any JSONL tooling. Three record types:
+//! files stream into any JSONL tooling. Record types:
 //!
 //! * `step` — per time step (subsampled by `telemetry_every`): Δt, the
 //!   five kernel wall times of the splitting scheme, solver iterations,
 //!   and the pressure-solve DoF throughput of that step.
 //! * `checkpoint` — written after each atomic checkpoint, with the step
 //!   it captured.
+//! * `span` — one tracing span drained from [`dgflow_trace`] (when
+//!   `DGFLOW_TRACE` is on): category, name, start/duration in
+//!   nanoseconds, recording-thread track id, and the optional modeled
+//!   work tag. `dgflow trace <case-dir>` turns these into a Chrome
+//!   trace-event timeline.
+//! * `thread` — names a span track id (`tid` → e.g. `pool-3`), emitted
+//!   once per track before its first span record.
 //! * `case_summary` — totals on completion: per-kernel seconds, mean
-//!   step wall time, sustained pressure DoF throughput, and the
-//!   cross-check against the analytic [`LaplaceCounts`] work model
-//!   (model GFlop/s = measured DoF/s × model Flop/DoF).
+//!   step wall time, sustained pressure DoF throughput, the cross-check
+//!   against the analytic [`LaplaceCounts`] work model (model GFlop/s =
+//!   measured DoF/s × model Flop/DoF), and the per-case delta of every
+//!   registered [`dgflow_trace::metrics`] metric.
 //!
-//! On resume the file is opened in append mode and step numbers simply
-//! continue; steps between the last checkpoint and a crash may appear
-//! twice (once per attempt), so consumers aggregating per step should
-//! de-duplicate on `(case, step)` keeping the last occurrence.
+//! Every record carries the 1-based `attempt` of the run that wrote it
+//! (re-opens scan the existing file and increment). On resume the file
+//! is opened in append mode and step numbers simply continue; steps
+//! between the last checkpoint and a crash appear once per attempt, so
+//! consumers aggregate with [`dedup_steps`] — keep, per `(case, step)`,
+//! the record of the highest attempt.
+//!
+//! Records are buffered and flushed only at durable points (checkpoint,
+//! summary, drop) — per-record flushing put a syscall on the step loop
+//! for no durability gain, since only checkpoints are resume points.
 
 use crate::json::Json;
 use dgflow_core::StepInfo;
 use dgflow_perfmodel::LaplaceCounts;
-use std::io::{self, BufWriter, Write};
+use dgflow_trace::{MetricValue, MetricsSnapshot, SpanRecord};
+use std::collections::BTreeSet;
+use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// Accessor pulling one kernel's wall time out of a [`StepInfo`].
@@ -63,6 +79,32 @@ pub struct Telemetry {
     every: usize,
     /// Running totals.
     pub totals: CaseTotals,
+    /// 1-based attempt number of this open (prior attempts are scanned
+    /// from the existing file).
+    pub attempt: usize,
+    /// Span track ids already announced with a `thread` record.
+    emitted_tids: BTreeSet<u32>,
+    /// Metrics baseline at open; the summary records the delta, which is
+    /// how process-global metrics are attributed to this case.
+    metrics_base: MetricsSnapshot,
+}
+
+/// Largest `attempt` found in an existing telemetry file (0 when the
+/// file is missing, empty, or pre-dates the attempt field).
+fn last_attempt(path: &Path) -> usize {
+    let Ok(file) = std::fs::File::open(path) else {
+        return 0;
+    };
+    let mut max = 0;
+    for line in io::BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        if let Ok(rec) = crate::json::parse(&line) {
+            if let Some(a) = rec.get("attempt").and_then(Json::as_usize) {
+                max = max.max(a);
+            }
+        }
+    }
+    max
 }
 
 impl Telemetry {
@@ -74,6 +116,7 @@ impl Telemetry {
         n_dofs_p: usize,
         every: usize,
     ) -> io::Result<Self> {
+        let attempt = last_attempt(path) + 1;
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -85,11 +128,20 @@ impl Telemetry {
             n_dofs_p,
             every: every.max(1),
             totals: CaseTotals::default(),
+            attempt,
+            emitted_tids: BTreeSet::new(),
+            metrics_base: dgflow_trace::snapshot(),
         })
     }
 
+    /// Buffer one record. Callers flush at durable points only
+    /// (checkpoint, summary, drop).
     fn emit(&mut self, record: &Json) -> io::Result<()> {
-        writeln!(self.out, "{record}")?;
+        writeln!(self.out, "{record}")
+    }
+
+    /// Flush buffered records to the file.
+    pub fn flush(&mut self) -> io::Result<()> {
         self.out.flush()
     }
 
@@ -119,6 +171,7 @@ impl Telemetry {
         let record = Json::obj([
             ("type", Json::Str("step".to_string())),
             ("case", Json::Str(self.case.clone())),
+            ("attempt", Json::Num(self.attempt as f64)),
             ("step", Json::Num(step as f64)),
             ("time", Json::Num(info.time)),
             ("dt", Json::Num(info.dt)),
@@ -144,14 +197,62 @@ impl Telemetry {
         self.emit(&record)
     }
 
-    /// Record an atomic checkpoint of `step`.
+    /// Record an atomic checkpoint of `step`. Flushes: the checkpoint is
+    /// a resume point, so the telemetry up to it must be durable too.
     pub fn record_checkpoint(&mut self, step: usize) -> io::Result<()> {
         let record = Json::obj([
             ("type", Json::Str("checkpoint".to_string())),
             ("case", Json::Str(self.case.clone())),
+            ("attempt", Json::Num(self.attempt as f64)),
             ("step", Json::Num(step as f64)),
         ]);
-        self.emit(&record)
+        self.emit(&record)?;
+        self.flush()
+    }
+
+    /// Write drained tracing spans (and `thread` records for any track
+    /// ids not yet announced in this attempt). Call with the output of
+    /// [`dgflow_trace::take_spans`] / [`dgflow_trace::thread_tracks`].
+    pub fn record_spans(
+        &mut self,
+        spans: &[SpanRecord],
+        tracks: &[(u32, String)],
+    ) -> io::Result<()> {
+        for s in spans {
+            if self.emitted_tids.insert(s.tid) {
+                let name = tracks
+                    .iter()
+                    .find(|(tid, _)| *tid == s.tid)
+                    .map_or_else(|| format!("thread-{}", s.tid), |(_, n)| n.clone());
+                let record = Json::obj([
+                    ("type", Json::Str("thread".to_string())),
+                    ("case", Json::Str(self.case.clone())),
+                    ("attempt", Json::Num(self.attempt as f64)),
+                    ("tid", Json::Num(f64::from(s.tid))),
+                    ("name", Json::Str(name)),
+                ]);
+                self.emit(&record)?;
+            }
+            let mut fields = vec![
+                ("type", Json::Str("span".to_string())),
+                ("case", Json::Str(self.case.clone())),
+                ("attempt", Json::Num(self.attempt as f64)),
+                ("tid", Json::Num(f64::from(s.tid))),
+                ("cat", Json::Str(s.cat.to_string())),
+                ("name", Json::Str(s.name.to_string())),
+                ("ts_ns", Json::Num(s.start_ns as f64)),
+                ("dur_ns", Json::Num(s.duration_ns() as f64)),
+                ("depth", Json::Num(f64::from(s.depth))),
+            ];
+            if s.meta != u64::MAX {
+                fields.push(("meta", Json::Num(s.meta as f64)));
+            }
+            if s.work_flops > 0.0 {
+                fields.push(("work_flops", Json::Num(s.work_flops)));
+            }
+            self.emit(&Json::obj(fields))?;
+        }
+        Ok(())
     }
 
     /// Summary of this attempt's totals, cross-checked against the
@@ -170,6 +271,7 @@ impl Telemetry {
         Json::obj([
             ("type", Json::Str("case_summary".to_string())),
             ("case", Json::Str(self.case.clone())),
+            ("attempt", Json::Num(self.attempt as f64)),
             ("status", Json::Str(status.to_string())),
             ("steps", Json::Num(t.steps as f64)),
             ("velocity_dofs", Json::Num(self.n_dofs_u as f64)),
@@ -194,14 +296,87 @@ impl Telemetry {
                 "model_intensity_flop_per_byte",
                 Json::Num(counts.intensity()),
             ),
+            (
+                "metrics",
+                metrics_json(&dgflow_trace::snapshot().delta_since(&self.metrics_base)),
+            ),
         ])
     }
 
-    /// Write the case summary record.
+    /// Write the case summary record and flush.
     pub fn record_summary(&mut self, degree: usize, status: &str) -> io::Result<()> {
         let record = self.case_summary(degree, status);
-        self.emit(&record)
+        self.emit(&record)?;
+        self.flush()
     }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        // Best-effort: records between the last checkpoint and an error
+        // exit are diagnostics worth keeping, but a failing flush must
+        // not turn a drop into a panic.
+        let _ = self.flush();
+    }
+}
+
+/// Render a metrics snapshot as a JSON object: counters and gauges as
+/// numbers, histograms as `{count, sum, mean}`.
+fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    Json::Obj(
+        snap.values
+            .iter()
+            .map(|(name, v)| {
+                let j = match v {
+                    MetricValue::Counter(n) => Json::Num(*n as f64),
+                    MetricValue::Gauge(g) => Json::Num(*g),
+                    MetricValue::Histogram { count, sum, .. } => Json::obj([
+                        ("count", Json::Num(*count as f64)),
+                        ("sum", Json::Num(*sum)),
+                        ("mean", Json::Num(sum / (*count).max(1) as f64)),
+                    ]),
+                };
+                (name.clone(), j)
+            })
+            .collect(),
+    )
+}
+
+/// De-duplicate `step` (and `checkpoint`) records across attempts: for
+/// every `(case, step)` key keep the record of the highest attempt, later
+/// file position winning ties. Non-step records pass through untouched.
+/// Returns indices into `records`, in stable order.
+pub fn dedup_steps(records: &[Json]) -> Vec<usize> {
+    use std::collections::BTreeMap;
+    let mut best: BTreeMap<(String, u64), (usize, usize)> = BTreeMap::new();
+    let mut keep = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        let ty = rec.get("type").and_then(Json::as_str);
+        if ty != Some("step") {
+            keep.push(i);
+            continue;
+        }
+        let case = rec
+            .get("case")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let step = rec.get("step").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let attempt = rec.get("attempt").and_then(Json::as_usize).unwrap_or(0);
+        match best.entry((case, step)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert((attempt, i));
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if attempt >= e.get().0 {
+                    e.insert((attempt, i));
+                }
+            }
+        }
+    }
+    keep.extend(best.values().map(|&(_, i)| i));
+    keep.sort_unstable();
+    keep
 }
 
 /// Render the campaign summary table from per-case summary JSON records.
@@ -282,6 +457,55 @@ mod tests {
         let g = sum.get("model_gflop_per_s").unwrap().as_f64().unwrap();
         assert!((g - d * fpd / 1e9).abs() < 1e-9 * g.abs().max(1.0));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_telemetry_bumps_the_attempt() {
+        let dir = std::env::temp_dir().join(format!("dgflow-telem3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+        for expected in 1..=3 {
+            let mut t = Telemetry::open(&path, "a", 100, 20, 1).unwrap();
+            assert_eq!(t.attempt, expected);
+            t.record_step(1, &info(0.1)).unwrap();
+            t.record_checkpoint(1).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let attempts: Vec<usize> = text
+            .lines()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("attempt")
+                    .and_then(Json::as_usize)
+                    .expect("every record carries an attempt")
+            })
+            .collect();
+        assert_eq!(attempts, vec![1, 1, 2, 2, 3, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dedup_keeps_the_last_attempt_of_each_step() {
+        let step = |case: &str, step: usize, attempt: usize| {
+            Json::obj([
+                ("type", Json::Str("step".to_string())),
+                ("case", Json::Str(case.to_string())),
+                ("step", Json::Num(step as f64)),
+                ("attempt", Json::Num(attempt as f64)),
+            ])
+        };
+        let records = vec![
+            step("a", 1, 1),
+            step("a", 2, 1),
+            Json::obj([("type", Json::Str("checkpoint".to_string()))]),
+            step("a", 2, 2), // retried step supersedes the attempt-1 record
+            step("a", 3, 2),
+            step("b", 2, 1), // same step number, different case: kept
+        ];
+        let keep = dedup_steps(&records);
+        // Non-step records pass through; (a, 2) collapses to attempt 2.
+        assert_eq!(keep, vec![0, 2, 3, 4, 5]);
     }
 
     #[test]

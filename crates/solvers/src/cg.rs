@@ -18,7 +18,35 @@ pub struct CgResult {
 }
 
 /// Solve `A x = b` by preconditioned CG. `x` carries the initial guess.
+///
+/// Observability: the whole solve runs under a coarse `cg.solve` span
+/// (meta = iterations), each iteration under a fine `cg.iter` span, and
+/// the iteration count feeds the `cg.iterations` histogram.
 pub fn cg_solve<T: Real>(
+    a: &dyn LinearOperator<T>,
+    precond: &dyn Preconditioner<T>,
+    b: &[T],
+    x: &mut [T],
+    rel_tol: f64,
+    max_iter: usize,
+) -> CgResult {
+    let mut sp = dgflow_trace::span("solver", "cg.solve");
+    let res = cg_solve_inner(a, precond, b, x, rel_tol, max_iter);
+    sp.set_meta(res.iterations as u64);
+    if dgflow_trace::enabled(dgflow_trace::Level::Coarse) {
+        iterations_histogram().record(res.iterations as f64);
+    }
+    res
+}
+
+/// The `cg.iterations` histogram handle, resolved once per process.
+fn iterations_histogram() -> &'static std::sync::Arc<dgflow_trace::metrics::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<dgflow_trace::metrics::Histogram>> =
+        std::sync::OnceLock::new();
+    H.get_or_init(|| dgflow_trace::histogram("cg.iterations"))
+}
+
+fn cg_solve_inner<T: Real>(
     a: &dyn LinearOperator<T>,
     precond: &dyn Preconditioner<T>,
     b: &[T],
@@ -60,6 +88,7 @@ pub fn cg_solve<T: Real>(
     let mut rz = vec_ops::dot(&r, &z);
     let mut iterations = 0;
     for it in 1..=max_iter {
+        let _it_span = dgflow_trace::span_fine("solver", "cg.iter").meta(it as u64);
         iterations = it;
         a.apply(&p, &mut ap);
         let pap = vec_ops::dot(&p, &ap);

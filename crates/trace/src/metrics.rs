@@ -1,0 +1,411 @@
+//! Process-wide metrics registry: counters, gauges, and log-linear
+//! histograms.
+//!
+//! Metrics are registered by name on first use and updated with single
+//! atomic operations — call sites keep an `Arc` handle so the steady
+//! state never touches the registry lock. Exporters take [`snapshot`]s;
+//! [`MetricsSnapshot::delta_since`] turns two cumulative snapshots into a
+//! per-interval (per-case, per-campaign) aggregate, which is how the
+//! runtime attributes process-global metrics to individual cases.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    val: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        // ordering: Relaxed — counters publish no other data; snapshots
+        // only need eventual values.
+        self.val.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ordering: Relaxed — see `add`.
+        self.val.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        // ordering: Relaxed — last-write-wins sample, no ordering needed.
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        // ordering: Relaxed — see `set`.
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Linear subdivisions per power of two in a [`Histogram`].
+const SUBBUCKETS: usize = 4;
+/// Powers of two covered (values 1 .. 2^44; step latencies in ns fit).
+const OCTAVES: usize = 44;
+/// Bucket count: one underflow bucket plus the log-linear grid.
+const NBUCKETS: usize = 1 + OCTAVES * SUBBUCKETS;
+
+/// A lock-free log-linear histogram for positive values: each power of two
+/// is split into [`SUBBUCKETS`] linear buckets, giving ≤ ~19 % relative
+/// bucket width over the whole range with a fixed 177-slot footprint.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NBUCKETS]>,
+    count: AtomicU64,
+    /// Running sum, in f64 bits (CAS loop — records are coarse-grained).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        // A `[AtomicU64; N]` has no Default for large N; build via Vec.
+        let v: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let boxed: Box<[AtomicU64; NBUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("length fixed at NBUCKETS"));
+        Self {
+            buckets: boxed,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+/// Bucket index of `v` (0 = underflow, i.e. `v < 1`).
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = (((bits >> 52) & 0x7ff) as i64 - 1023).max(0) as usize;
+    // Top two mantissa bits select the linear subbucket within the octave.
+    let sub = ((bits >> 50) & 0b11) as usize;
+    (1 + exp * SUBBUCKETS + sub).min(NBUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `idx` (0 for the underflow bucket).
+fn bucket_lower_bound(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    let exp = (idx - 1) / SUBBUCKETS;
+    let sub = (idx - 1) % SUBBUCKETS;
+    2f64.powi(exp as i32) * (1.0 + sub as f64 / SUBBUCKETS as f64)
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: f64) {
+        // ordering: Relaxed — statistics only, see `Counter::add`.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed CAS — the sum is a statistic; no other data
+        // is published through it.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                // ordering: Relaxed success/failure — statistic only.
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        // ordering: Relaxed — statistic.
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        // ordering: Relaxed — statistic.
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest bucket lower bound with at least `q` of the mass below or
+    /// at it (an upper-biased quantile estimate; exact to bucket width).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — statistic.
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(NBUCKETS - 1)
+    }
+}
+
+/// A snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram: total count, sum, and `(bucket lower bound, count)` for
+    /// every non-empty bucket.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Non-empty buckets as `(lower bound, count)`.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, sorted by name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Interval view: counters and histograms become `self − base`
+    /// (saturating); gauges keep their current value. Metrics absent from
+    /// `base` pass through unchanged.
+    pub fn delta_since(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = BTreeMap::new();
+        for (name, now) in &self.values {
+            let v = match (now, base.values.get(name)) {
+                (MetricValue::Counter(n), Some(MetricValue::Counter(b))) => {
+                    MetricValue::Counter(n.saturating_sub(*b))
+                }
+                (
+                    MetricValue::Histogram {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                    Some(MetricValue::Histogram {
+                        count: bc,
+                        sum: bs,
+                        buckets: bb,
+                    }),
+                ) => {
+                    let base_map: BTreeMap<u64, u64> =
+                        bb.iter().map(|(lo, n)| (lo.to_bits(), *n)).collect();
+                    let buckets = buckets
+                        .iter()
+                        .map(|(lo, n)| {
+                            (
+                                *lo,
+                                n.saturating_sub(base_map.get(&lo.to_bits()).copied().unwrap_or(0)),
+                            )
+                        })
+                        .filter(|(_, n)| *n > 0)
+                        .collect();
+                    MetricValue::Histogram {
+                        count: count.saturating_sub(*bc),
+                        sum: sum - bs,
+                        buckets,
+                    }
+                }
+                (v, _) => v.clone(),
+            };
+            out.insert(name.clone(), v);
+        }
+        MetricsSnapshot { values: out }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Lock the registry, recovering from poison: the only panic that can
+/// happen while the lock is held is the kind-mismatch below, which fires
+/// after the map lookup — the map itself is never left mid-mutation.
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Get or create the counter named `name`.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Get or create the gauge named `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Get or create the histogram named `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Snapshot every registered metric (cumulative since process start).
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = lock_registry();
+    let values = reg
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => {
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            // ordering: Relaxed — statistic.
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then(|| (bucket_lower_bound(i), n))
+                        })
+                        .collect();
+                    MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets,
+                    }
+                }
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    MetricsSnapshot { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut prev = 0;
+        let mut v = 0.5;
+        while v < 1e13 {
+            let i = bucket_index(v);
+            assert!(
+                i >= prev,
+                "index must not decrease: v={v} i={i} prev={prev}"
+            );
+            assert!(i < NBUCKETS);
+            // the lower bound of the chosen bucket never exceeds v
+            assert!(bucket_lower_bound(i) <= v * (1.0 + 1e-12));
+            prev = i;
+            v *= 1.07;
+        }
+        assert_eq!(bucket_index(0.3), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = Histogram::default();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 1e-6);
+        let median = h.quantile(0.5);
+        assert!((400.0..=512.0).contains(&median), "median bucket {median}");
+        let p99 = h.quantile(0.99);
+        assert!((768.0..=1024.0).contains(&p99), "p99 bucket {p99}");
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let c = counter("test.delta.counter");
+        let h = histogram("test.delta.hist");
+        let g = gauge("test.delta.gauge");
+        c.add(5);
+        h.record(10.0);
+        g.set(1.5);
+        let base = snapshot();
+        c.add(3);
+        h.record(20.0);
+        h.record(20.0);
+        g.set(2.5);
+        let now = snapshot();
+        let d = now.delta_since(&base);
+        assert_eq!(d.values["test.delta.counter"], MetricValue::Counter(3));
+        assert_eq!(d.values["test.delta.gauge"], MetricValue::Gauge(2.5));
+        match &d.values["test.delta.hist"] {
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                assert_eq!(*count, 2);
+                assert!((sum - 40.0).abs() < 1e-9);
+                assert_eq!(buckets.iter().map(|(_, n)| n).sum::<u64>(), 2);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kind.mismatch");
+        let _ = gauge("test.kind.mismatch");
+    }
+}

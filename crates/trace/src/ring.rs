@@ -1,0 +1,139 @@
+//! Bounded single-producer/single-consumer span ring.
+//!
+//! Each recording thread owns exactly one [`Ring`]: the owning thread is
+//! the only producer, and consumers (the drain in
+//! [`crate::span::collect`]) are serialized by the collector lock. Under
+//! that discipline every slot is accessed by at most one side at a time,
+//! so the hot path is a plain slot write plus one `Release` store — no
+//! locks, no shared cache lines with other recording threads.
+//!
+//! When the ring is full, new spans are *dropped and counted* rather than
+//! blocking the recording thread: observability must never add a
+//! synchronization edge to the code it observes. The drop counter is part
+//! of the exported data, so a truncated trace is visible instead of
+//! silently misleading.
+
+use crate::span::SpanRecord;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Spans buffered per thread between drains. Sized so a full
+/// `ThreadPool::run` interval of fine-grained spans fits comfortably:
+/// drains happen at every pool join barrier and every solver step.
+pub const RING_CAPACITY: usize = 1 << 14;
+
+/// A bounded SPSC ring of [`SpanRecord`]s.
+pub struct Ring {
+    slots: Box<[UnsafeCell<MaybeUninit<SpanRecord>>]>,
+    mask: usize,
+    /// Consumer cursor (next slot to read).
+    head: AtomicUsize,
+    /// Producer cursor (next slot to write).
+    tail: AtomicUsize,
+    /// Spans discarded because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: the SPSC discipline documented on the type — `push` is called
+// only by the thread owning the enclosing recorder, `pop_into` only under
+// the collector lock — means no slot is ever written and read
+// concurrently; the head/tail Acquire/Release pairs publish slot contents
+// across that boundary.
+unsafe impl Sync for Ring {}
+// SAFETY: `SpanRecord` is `Copy + Send` (static strs and plain numbers);
+// moving the ring between threads moves only owned storage.
+unsafe impl Send for Ring {}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Self::with_capacity(RING_CAPACITY)
+    }
+}
+
+impl Ring {
+    /// A ring holding at most `cap` (rounded up to a power of two) spans.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(2);
+        let slots: Vec<UnsafeCell<MaybeUninit<SpanRecord>>> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: append one span. Returns `false` (and counts the
+    /// drop) when the ring is full. Must only be called by the owning
+    /// thread.
+    pub fn push(&self, rec: SpanRecord) -> bool {
+        // ordering: Acquire — pairs with the consumer's Release store of
+        // `head` in `pop_into`, so slots the consumer has vacated are
+        // fully read before the producer reuses them.
+        let head = self.head.load(Ordering::Acquire);
+        // ordering: Relaxed — `tail` is only ever written by this (the
+        // producing) thread; the load observes our own last store.
+        let tail = self.tail.load(Ordering::Relaxed);
+        if tail.wrapping_sub(head) > self.mask {
+            // ordering: Relaxed — pure statistics counter, read only at
+            // export time well after all recording synchronized elsewhere.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: the slot at `tail` is outside the live region
+        // `head..tail` (checked non-full above), so the serialized
+        // consumer cannot be reading it, and no other producer exists.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(rec);
+        }
+        // ordering: Release — publishes the slot write above to the
+        // consumer's Acquire load of `tail`.
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: move every buffered span into `out`. Must only be
+    /// called while holding the collector lock (one consumer at a time).
+    pub fn pop_into(&self, out: &mut Vec<SpanRecord>) {
+        // ordering: Acquire — pairs with the producer's Release store of
+        // `tail`, making the slot writes up to `tail` visible.
+        let tail = self.tail.load(Ordering::Acquire);
+        // ordering: Relaxed — `head` is only written under the collector
+        // lock, which the caller holds; we observe our own last store.
+        let mut head = self.head.load(Ordering::Relaxed);
+        while head != tail {
+            // SAFETY: slots in `head..tail` were initialized by the
+            // producer (published by the Acquire load of `tail`) and are
+            // not touched by it again until `head` advances past them.
+            let rec = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+            out.push(rec);
+            head = head.wrapping_add(1);
+        }
+        // ordering: Release — hands the vacated slots back to the
+        // producer's Acquire load of `head` in `push`.
+        self.head.store(head, Ordering::Release);
+    }
+
+    /// Spans dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — statistics read, no data depends on it.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        // ordering: Relaxed — diagnostic only.
+        self.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.head.load(Ordering::Relaxed))
+    }
+
+    /// Is the ring currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -201,10 +201,30 @@ fn within_tolerance(
     ok
 }
 
+/// Tracing overhead gate: the `trace_overhead` binary measures the k=3
+/// DG DP mat-vec with tracing fully on vs off (interleaved best-of) and
+/// exits nonzero past its 5% budget (`DGFLOW_TRACE_OVERHEAD_TOL`).
+fn trace_overhead_gate() -> bool {
+    crate::step(
+        "trace overhead",
+        crate::cargo().args([
+            "run",
+            "--release",
+            "-p",
+            "dgflow-bench",
+            "--bin",
+            "trace_overhead",
+        ]),
+    )
+}
+
 /// The `bench-check` gate. Flags: `--quick`, `--update`.
 pub fn bench_check(args: &[String]) -> bool {
     let quick = args.iter().any(|a| a == "--quick");
     let update = args.iter().any(|a| a == "--update");
+    if quick && !update && !trace_overhead_gate() {
+        return false;
+    }
     let (baseline_path, g, budget_ms) = if quick {
         (BASELINE_QUICK, "2", "400")
     } else {

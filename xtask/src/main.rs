@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "model" => model(),
         "tsan" => tsan(rest.iter().any(|a| a == "--strict")),
         "runtime-smoke" => runtime_smoke(),
+        "trace-smoke" => trace_smoke(),
         "ci" => ci(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -74,7 +75,8 @@ fn print_help() {
          model         dgcheck concurrency model checker over the comm/runtime kernels (--cfg dgcheck_model)\n  \
          tsan          ThreadSanitizer over the comm/runtime test suites (nightly; --strict to fail when unavailable)\n  \
          runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + miri + tsan"
+         trace-smoke   traced toy campaign -> `dgflow trace` -> validate the Chrome export\n  \
+         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + trace-smoke + miri + tsan"
     );
 }
 
@@ -338,6 +340,82 @@ fn runtime_smoke() -> bool {
     true
 }
 
+/// Observability smoke test, end to end through the real `dgflow`
+/// binary: run a traced toy campaign (`DGFLOW_TRACE=coarse`), convert
+/// its telemetry with `dgflow trace`, and sanity-check the Chrome
+/// trace-event export that Perfetto would load.
+fn trace_smoke() -> bool {
+    if !step(
+        "build dgflow",
+        cargo().args([
+            "build",
+            "--release",
+            "-p",
+            "dgflow-runtime",
+            "--bin",
+            "dgflow",
+        ]),
+    ) {
+        return false;
+    }
+    let bin = std::path::Path::new("target/release/dgflow");
+    let dir = std::env::temp_dir().join(format!("dgflow-trace-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("xtask: trace-smoke: cannot create {}: {e}", dir.display());
+        return false;
+    }
+    let out = dir.join("out");
+    let spec = dir.join("campaign.toml");
+    let text = format!(
+        "[campaign]\nname = \"traced\"\noutput = \"{}\"\ncheckpoint_every = 4\n\n\
+         [[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 2\nsteps = 4\n\
+         dt_max = 0.01\nviscosity = 0.5\nmultigrid = false\npressure_drop = 0.1\n",
+        out.display()
+    );
+    if let Err(e) = std::fs::write(&spec, text) {
+        eprintln!("xtask: trace-smoke: cannot write spec: {e}");
+        return false;
+    }
+    if !step(
+        "trace-smoke run",
+        Command::new(bin)
+            .args(["run"])
+            .arg(&spec)
+            .env("DGFLOW_TRACE", "coarse"),
+    ) {
+        return false;
+    }
+    let case_dir = out.join("a");
+    if !step(
+        "trace-smoke export",
+        Command::new(bin).args(["trace"]).arg(&case_dir),
+    ) {
+        return false;
+    }
+    let trace = match std::fs::read_to_string(case_dir.join("trace.json")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: trace-smoke: trace.json missing: {e}");
+            return false;
+        }
+    };
+    let shape_ok = trace.starts_with("{\"traceEvents\":[")
+        && trace.contains("\"thread_name\"")
+        && trace.contains("\"ph\":\"X\"")
+        && trace.contains("\"model_gflop\"");
+    if !shape_ok {
+        eprintln!(
+            "xtask: trace-smoke: trace.json is missing expected structure \
+             (traceEvents / thread_name metadata / X events / roofline args)"
+        );
+        return false;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("xtask: trace-smoke: traced campaign exported a well-formed Chrome trace");
+    true
+}
+
 /// The full CI sequence, stopping at the first failure.
 fn ci() -> bool {
     step("fmt", cargo().args(["fmt", "--all", "--check"]))
@@ -375,6 +453,7 @@ fn ci() -> bool {
         && bench::bench_check(&["--quick".into()])
         && model()
         && runtime_smoke()
+        && trace_smoke()
         && miri(false)
         && tsan(false)
 }
