@@ -1,0 +1,167 @@
+//! Model checks of the *real* service admission queue
+//! (`dgflow_serve::fair::FairScheduler`), compiled through the shim seam
+//! under `--cfg dgcheck_model`: every bounded-preemption interleaving of
+//! the production submit/dispatch/cancel/drain protocol is explored, not
+//! a re-implementation. The deliberately-broken twins of these
+//! properties live in `serve_twins.rs` and run in every build.
+//!
+//! Keep models tiny (2–3 threads, 1–2 jobs each): the bug classes these
+//! protect against — a submission lost between `submit` and `cancel`, a
+//! drain that parks forever on a dropped wakeup — all manifest at
+//! minimal size.
+#![cfg(dgcheck_model)]
+
+use std::sync::Arc;
+
+use dgflow_check::model::Checker;
+use dgflow_check::thread;
+use dgflow_serve::FairScheduler;
+
+fn checker() -> Checker {
+    Checker::new()
+}
+
+/// Property 1: no submission is lost under concurrent submit + cancel.
+/// Every job a client got `true` for is afterwards accounted for exactly
+/// once — dispatched to a worker XOR removed by the cancel — on every
+/// interleaving of the submitter, the canceller, and the drain.
+#[test]
+fn no_lost_submissions_on_concurrent_submit_and_cancel() {
+    let report = checker().check(|| {
+        let s = Arc::new(FairScheduler::new());
+        let s1 = s.clone();
+        let submitter = thread::spawn(move || s1.submit("a", 1, 2, 1, 1_u32));
+        let s2 = s.clone();
+        let canceller = thread::spawn(move || s2.remove_where(|&j| j == 1));
+        // Main is a second client: its submission races everything above.
+        let accepted_2 = s.submit("b", 1, 2, 1, 2_u32);
+        s.close();
+        let mut dispatched = Vec::new();
+        while let Some((tenant, job)) = s.next() {
+            dispatched.push(job);
+            s.done(&tenant);
+        }
+        let accepted_1 = submitter.join().unwrap();
+        let removed = canceller.join().unwrap();
+
+        // Job 2 was accepted before close on this thread, so it must
+        // come out the worker side.
+        assert!(accepted_2, "close cannot precede main's own submit");
+        assert!(dispatched.contains(&2), "accepted job 2 was lost");
+        // Job 1: accepted ⇒ dispatched XOR cancelled; rejected ⇒ neither.
+        let got = dispatched.contains(&1);
+        let cancelled = removed.contains(&1);
+        if accepted_1 {
+            assert!(
+                got ^ cancelled,
+                "accepted job 1 must be dispatched or cancelled, exactly once \
+                 (dispatched: {got}, cancelled: {cancelled})"
+            );
+        } else {
+            assert!(
+                !got && !cancelled,
+                "rejected job 1 must not surface anywhere"
+            );
+        }
+    });
+    eprintln!("submit/cancel model: {report:?}");
+    assert!(
+        report.exhausted,
+        "the submit/cancel model must be exhaustively explored"
+    );
+}
+
+/// Property 2: shutdown drains without deadlock. A worker blocked in
+/// `next()` always terminates once `close()` is called — the close
+/// notification cannot be lost even when it races an in-flight submit —
+/// and everything accepted before the close is dispatched.
+#[test]
+fn close_drains_without_deadlock() {
+    let report = checker().check(|| {
+        let s = Arc::new(FairScheduler::new());
+        let s1 = s.clone();
+        // Worker parks in next() until there is work or a close.
+        let worker = thread::spawn(move || {
+            let mut n = 0;
+            while let Some((tenant, _)) = s1.next() {
+                n += 1;
+                s1.done(&tenant);
+            }
+            n
+        });
+        let s2 = s.clone();
+        let submitter = thread::spawn(move || s2.submit("a", 1, 1, 1, 1_u32));
+        s.close();
+        let accepted = submitter.join().unwrap();
+        // The join itself is the no-deadlock assertion: on every schedule
+        // the worker must observe the close and return.
+        let dispatched = worker.join().unwrap();
+        assert_eq!(
+            dispatched,
+            usize::from(accepted),
+            "close must drain exactly the accepted jobs"
+        );
+        assert_eq!(s.queued_len(), 0, "close leaves nothing queued");
+    });
+    eprintln!("close/drain model: {report:?}");
+    assert!(report.exhausted);
+}
+
+/// Property 2b: `halt()` (daemon shutdown) also never deadlocks, but
+/// *preserves* queued jobs for the restart — dispatched + still-queued
+/// always equals accepted, nothing vanishes.
+#[test]
+fn halt_preserves_undispatched_jobs() {
+    let report = checker().check(|| {
+        let s = Arc::new(FairScheduler::new());
+        assert!(s.submit("a", 1, 1, 1, 1_u32));
+        assert!(s.submit("a", 1, 1, 1, 2_u32));
+        let s1 = s.clone();
+        let worker = thread::spawn(move || {
+            let mut n = 0;
+            while let Some((tenant, _)) = s1.next() {
+                n += 1;
+                s1.done(&tenant);
+            }
+            n
+        });
+        let s2 = s.clone();
+        let halter = thread::spawn(move || s2.halt());
+        halter.join().unwrap();
+        let dispatched = worker.join().unwrap();
+        assert_eq!(
+            dispatched + s.queued_len(),
+            2,
+            "halt must keep whatever was not dispatched"
+        );
+    });
+    eprintln!("halt model: {report:?}");
+    assert!(report.exhausted);
+}
+
+/// The in-flight cap never admits more than `max_in_flight` of one
+/// tenant's jobs concurrently, and `done()`'s wakeup is never lost (the
+/// second `next()` cannot park forever once capacity frees).
+#[test]
+fn in_flight_cap_is_respected_and_done_wakes_waiters() {
+    let report = checker().check(|| {
+        let s = Arc::new(FairScheduler::new());
+        assert!(s.submit("a", 1, 1, 1, 1_u32));
+        assert!(s.submit("a", 1, 1, 1, 2_u32));
+        s.close();
+        let s1 = s.clone();
+        let worker = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some((tenant, job)) = s1.next() {
+                got.push(job);
+                // cap 1: the next dispatch is only legal after this done
+                s1.done(&tenant);
+            }
+            got
+        });
+        let got = worker.join().unwrap();
+        assert_eq!(got, [1, 2], "FIFO within a tenant, nothing lost");
+    });
+    eprintln!("in-flight cap model: {report:?}");
+    assert!(report.exhausted);
+}

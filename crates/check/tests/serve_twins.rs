@@ -1,0 +1,204 @@
+//! Deliberately-broken twins of the service admission/drain protocols
+//! (`dgflow_serve::fair::FairScheduler`, checked for real in
+//! `serve_model.rs`), written directly against the model primitives so
+//! they run in every build. Each twin seeds the classic service-queue
+//! bug — a submit that forgets to wake the worker, a close that forgets
+//! to wake the drain, an admission check not atomic with the push, a
+//! capacity release without a wakeup — and its `should_panic` test
+//! proves the checker finds that class of bug; the paired correct
+//! version proves it does not cry wolf.
+
+use std::sync::Arc;
+
+use dgflow_check::model::atomic::{AtomicBool, Ordering};
+use dgflow_check::model::sync::{Condvar, Mutex};
+use dgflow_check::model::thread;
+use dgflow_check::model::Checker;
+
+/// Fewer random fallbacks keep the `should_panic` tests fast; every
+/// seeded bug here is found well inside the DFS phase anyway.
+fn checker() -> Checker {
+    Checker::new().max_schedules(20_000).random_schedules(50)
+}
+
+// ── twin 1: submit must wake the parked worker ──────────────────────────
+
+/// `FairScheduler::submit`/`next` in miniature: a worker parks on the
+/// condvar until a job arrives; the client pushes and (in the correct
+/// version) notifies.
+fn submit_wakeup(notify: bool) {
+    let q = Arc::new((Mutex::new(Vec::<u32>::new()), Condvar::new()));
+    let q2 = q.clone();
+    let worker = thread::spawn(move || {
+        let (lock, cv) = &*q2;
+        let mut jobs = lock.lock();
+        while jobs.is_empty() {
+            cv.wait(&mut jobs);
+        }
+        jobs.pop().expect("woken with a job")
+    });
+    {
+        let (lock, cv) = &*q;
+        lock.lock().push(7);
+        if notify {
+            cv.notify_one();
+        }
+    }
+    assert_eq!(worker.join().unwrap(), 7);
+}
+
+#[test]
+fn submit_wakes_the_parked_worker() {
+    let report = checker().check(|| submit_wakeup(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn submit_without_notify_twin_is_caught() {
+    checker().check(|| submit_wakeup(false));
+}
+
+// ── twin 2: close must wake the drain, not just flip the flag ───────────
+
+/// The shutdown drain in miniature: the worker pops until
+/// `closed && empty`; `close()` must `notify_all` or a worker parked on
+/// an empty queue never observes the flag.
+fn close_drain(notify_on_close: bool) {
+    let q = Arc::new((Mutex::new((Vec::<u32>::new(), false)), Condvar::new()));
+    let q2 = q.clone();
+    let worker = thread::spawn(move || {
+        let (lock, cv) = &*q2;
+        let mut drained = 0;
+        let mut st = lock.lock();
+        loop {
+            if st.0.pop().is_some() {
+                drained += 1;
+                continue;
+            }
+            if st.1 {
+                return drained;
+            }
+            cv.wait(&mut st);
+        }
+    });
+    {
+        let (lock, cv) = &*q;
+        lock.lock().0.push(1);
+        cv.notify_one();
+    }
+    {
+        let (lock, cv) = &*q;
+        lock.lock().1 = true;
+        if notify_on_close {
+            cv.notify_all();
+        }
+    }
+    assert_eq!(worker.join().unwrap(), 1, "drain delivers the queued job");
+}
+
+#[test]
+fn close_wakes_the_draining_worker() {
+    let report = checker().check(|| close_drain(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn close_without_notify_twin_is_caught() {
+    checker().check(|| close_drain(false));
+}
+
+// ── twin 3: the admission check must be atomic with the push ────────────
+
+/// `submit`'s closed-check in miniature. The real scheduler tests
+/// `closed` and pushes under one mutex acquisition, so an accepted job
+/// is visible to the drain that runs after `close()`. The twin reads a
+/// separate closed flag *outside* the lock and then pushes: a close that
+/// lands in between accepts a job the shutdown drain never sees.
+fn admission_vs_close(check_under_lock: bool) {
+    let q = Arc::new(Mutex::new((Vec::<u32>::new(), false)));
+    let closed_flag = Arc::new(AtomicBool::new(false));
+    let (q2, f2) = (q.clone(), closed_flag.clone());
+    let client = thread::spawn(move || {
+        if check_under_lock {
+            let mut st = q2.lock();
+            if st.1 {
+                return false;
+            }
+            st.0.push(1);
+            true
+        } else {
+            // check-then-act across two acquisitions: the bug
+            if f2.load(Ordering::SeqCst) {
+                return false;
+            }
+            q2.lock().0.push(1);
+            true
+        }
+    });
+    // close, then run the final shutdown drain
+    let drained = {
+        let mut st = q.lock();
+        st.1 = true;
+        closed_flag.store(true, Ordering::SeqCst);
+        std::mem::take(&mut st.0)
+    };
+    let accepted = client.join().unwrap();
+    // The drain above is the *last* pop this queue will ever see, so an
+    // accepted job that is not in it is gone for good.
+    if accepted {
+        assert!(drained.contains(&1), "accepted job was lost across close");
+    }
+}
+
+#[test]
+fn locked_admission_check_loses_nothing() {
+    let report = checker().check(|| admission_vs_close(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "accepted job was lost across close")]
+fn unlocked_admission_check_twin_is_caught() {
+    checker().check(|| admission_vs_close(false));
+}
+
+// ── twin 4: done() must wake workers blocked on the in-flight cap ───────
+
+/// The per-tenant in-flight cap in miniature: two workers contend for a
+/// single capacity slot; releasing the slot must notify, or the loser
+/// parks forever.
+fn capacity_release(notify: bool) {
+    let cap = Arc::new((Mutex::new(1_usize), Condvar::new()));
+    let run_one = move |cap: &(Mutex<usize>, Condvar)| {
+        let (lock, cv) = cap;
+        let mut avail = lock.lock();
+        while *avail == 0 {
+            cv.wait(&mut avail);
+        }
+        *avail -= 1;
+        drop(avail); // job "runs" outside the lock
+        *lock.lock() += 1;
+        if notify {
+            cv.notify_all();
+        }
+    };
+    let c2 = cap.clone();
+    let h = thread::spawn(move || run_one(&c2));
+    run_one(&cap);
+    h.join().unwrap();
+    assert_eq!(*cap.0.lock(), 1, "slot restored after both jobs");
+}
+
+#[test]
+fn done_wakes_workers_waiting_on_the_cap() {
+    let report = checker().check(|| capacity_release(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn done_without_notify_twin_is_caught() {
+    checker().check(|| capacity_release(false));
+}

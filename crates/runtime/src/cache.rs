@@ -40,20 +40,57 @@ pub struct CacheStats {
     pub mapping_hits: AtomicUsize,
     /// Mapping requests that had to build.
     pub mapping_misses: AtomicUsize,
+    /// Whole-case submissions served from the result store without
+    /// re-solving (counted by the service layer, which owns the result
+    /// store keyed by canonical spec fingerprint).
+    pub case_hits: AtomicUsize,
+    /// Whole-case submissions that had to solve.
+    pub case_misses: AtomicUsize,
+}
+
+/// A point-in-time copy of every cache counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Shape-table requests served from the cache.
+    pub shape_hits: usize,
+    /// Shape-table requests that had to build.
+    pub shape_misses: usize,
+    /// Mapping requests served from the cache.
+    pub mapping_hits: usize,
+    /// Mapping requests that had to build.
+    pub mapping_misses: usize,
+    /// Whole-case result-store hits.
+    pub case_hits: usize,
+    /// Whole-case result-store misses.
+    pub case_misses: usize,
 }
 
 impl CacheStats {
-    /// Snapshot as `(shape_hits, shape_misses, mapping_hits,
-    /// mapping_misses)`.
-    pub fn snapshot(&self) -> (usize, usize, usize, usize) {
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> CacheSnapshot {
         // ordering: Relaxed — independent monotone telemetry counters; a
         // snapshot is advisory and never ordered against other state.
-        (
-            self.shape_hits.load(Ordering::Relaxed),
-            self.shape_misses.load(Ordering::Relaxed),
-            self.mapping_hits.load(Ordering::Relaxed),
-            self.mapping_misses.load(Ordering::Relaxed),
-        )
+        CacheSnapshot {
+            shape_hits: self.shape_hits.load(Ordering::Relaxed),
+            shape_misses: self.shape_misses.load(Ordering::Relaxed),
+            mapping_hits: self.mapping_hits.load(Ordering::Relaxed),
+            mapping_misses: self.mapping_misses.load(Ordering::Relaxed),
+            // ordering: Relaxed — same advisory-telemetry contract as above.
+            case_hits: self.case_hits.load(Ordering::Relaxed),
+            case_misses: self.case_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count a whole-case result-store hit.
+    pub fn record_case_hit(&self) {
+        // ordering: Relaxed — telemetry counter, see `snapshot`.
+        self.case_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a whole-case result-store miss (the case had to solve).
+    pub fn record_case_miss(&self) {
+        // ordering: Relaxed — telemetry counter, see `snapshot`.
+        self.case_misses.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -181,8 +218,9 @@ mod tests {
         let c = cache.shape(2, NodeSet::Gauss, 4);
         assert!(Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
-        let (hits, misses, _, _) = cache.stats.snapshot();
-        assert_eq!((hits, misses), (1, 2));
+        let snap = cache.stats.snapshot();
+        assert_eq!((snap.shape_hits, snap.shape_misses), (1, 2));
+        assert_eq!((snap.case_hits, snap.case_misses), (0, 0));
     }
 
     #[test]
@@ -241,8 +279,8 @@ mod tests {
         };
         let s2 = FlowSolver::<4>::with_setup(&forest, &manifold, params4, mk_bcs(), &cache);
         assert!(Arc::ptr_eq(&s1.mf_u.mapping, &s2.mf_u.mapping));
-        let (_, _, mapping_hits, mapping_misses) = cache.stats.snapshot();
-        assert_eq!((mapping_hits, mapping_misses), (1, 1));
+        let snap = cache.stats.snapshot();
+        assert_eq!((snap.mapping_hits, snap.mapping_misses), (1, 1));
         // the cached-setup solver actually steps
         let info = s1.step();
         assert!(info.dt > 0.0);

@@ -33,7 +33,7 @@
 
 use crate::cache::SetupCache;
 use crate::json::Json;
-use crate::manifest::{text_fingerprint, CaseRecord, CaseStatus, Manifest};
+use crate::manifest::{canonical_fingerprint, CaseRecord, CaseStatus, Manifest};
 use crate::sched;
 use crate::spec::{CampaignSpec, CaseSpec, MeshKind};
 use crate::telemetry::{summary_table, Telemetry};
@@ -336,16 +336,38 @@ fn run_case(
 
 /// Start a fresh campaign (`resume = false`) or continue an interrupted
 /// one (`resume = true`). `spec_text` is the raw TOML the spec was parsed
-/// from; its fingerprint pins campaign identity across resumes.
+/// from; its *canonical* fingerprint (key order, whitespace, and number
+/// formatting normalized) pins campaign identity across resumes, so a
+/// reformatted-but-identical spec still resumes.
 pub fn run_campaign(
     spec: &CampaignSpec,
     spec_text: &str,
     resume: bool,
     cancel: &CancelToken,
 ) -> io::Result<CampaignOutcome> {
+    run_campaign_with(
+        spec,
+        spec_text,
+        resume,
+        cancel,
+        &Arc::new(SetupCache::new()),
+    )
+}
+
+/// [`run_campaign`] against a caller-owned [`SetupCache`]. A long-running
+/// service passes one shared cache so shape tables and geometry samplings
+/// are reused *across* campaigns, and the cache counters reported in
+/// `summary.json` are then cumulative over the cache's lifetime.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    spec_text: &str,
+    resume: bool,
+    cancel: &CancelToken,
+    cache: &Arc<SetupCache>,
+) -> io::Result<CampaignOutcome> {
     let out = &spec.output;
     std::fs::create_dir_all(out)?;
-    let fingerprint = text_fingerprint(spec_text);
+    let fingerprint = canonical_fingerprint(spec_text);
     let manifest_path = Manifest::path_in(out);
 
     let manifest = if resume {
@@ -385,7 +407,6 @@ pub fn run_campaign(
         dir: out.clone(),
         inner: Mutex::new(manifest),
     };
-    let cache = Arc::new(SetupCache::new());
     let abort = AbortAfter::from_env();
 
     // Deterministic job list: spec order, completed cases skipped.
@@ -459,15 +480,17 @@ pub fn run_campaign(
         ),
         ("total", Json::Num(manifest.cases.len() as f64)),
         ("cases", Json::Arr(summaries.clone())),
-        (
-            "cache",
+        ("cache", {
+            let snap = cache.stats.snapshot();
             Json::obj([
-                ("shape_hits", Json::Num(cache.stats.snapshot().0 as f64)),
-                ("shape_misses", Json::Num(cache.stats.snapshot().1 as f64)),
-                ("mapping_hits", Json::Num(cache.stats.snapshot().2 as f64)),
-                ("mapping_misses", Json::Num(cache.stats.snapshot().3 as f64)),
-            ]),
-        ),
+                ("shape_hits", Json::Num(snap.shape_hits as f64)),
+                ("shape_misses", Json::Num(snap.shape_misses as f64)),
+                ("mapping_hits", Json::Num(snap.mapping_hits as f64)),
+                ("mapping_misses", Json::Num(snap.mapping_misses as f64)),
+                ("case_hits", Json::Num(snap.case_hits as f64)),
+                ("case_misses", Json::Num(snap.case_misses as f64)),
+            ])
+        }),
     ]);
     let tmp = out.join("summary.json.tmp");
     std::fs::write(&tmp, format!("{summary_doc}\n"))?;

@@ -25,8 +25,8 @@
 //!   throughput as JSONL, cross-checked against the analytic
 //!   [`dgflow_perfmodel`] work model.
 //!
-//! The `dgflow` binary (in `src/bin/dgflow.rs`) is the CLI entry:
-//! `dgflow run|resume|validate|status <campaign.toml|output-dir>`.
+//! The `dgflow` binary (in `crates/serve/src/bin/dgflow.rs`) is the CLI
+//! entry: `dgflow run|resume|validate|status|serve <...>`.
 
 pub mod cache;
 pub mod campaign;
@@ -37,7 +37,7 @@ pub mod spec;
 pub mod telemetry;
 pub mod toml;
 
-pub use cache::SetupCache;
-pub use campaign::{run_campaign, CampaignOutcome};
-pub use manifest::{CaseStatus, Manifest};
+pub use cache::{CacheSnapshot, SetupCache};
+pub use campaign::{run_campaign, run_campaign_with, CampaignOutcome};
+pub use manifest::{canonical_fingerprint, text_fingerprint, CaseStatus, Manifest};
 pub use spec::{CampaignSpec, CaseSpec, MeshKind};

@@ -255,6 +255,18 @@ pub fn text_fingerprint(text: &str) -> u64 {
     h
 }
 
+/// FNV-1a fingerprint of the *canonical* form of a spec text (sorted keys
+/// per table, normalized whitespace/number formatting, comments dropped —
+/// see [`crate::toml::canonicalize`]), so semantically identical TOML
+/// spellings dedupe to the same fingerprint. Falls back to the raw-text
+/// fingerprint when the text does not parse as a spec document.
+pub fn canonical_fingerprint(text: &str) -> u64 {
+    match crate::toml::canonicalize(text) {
+        Ok(canon) => text_fingerprint(&canon),
+        Err(_) => text_fingerprint(text),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +300,26 @@ mod tests {
         // no tmp file left behind
         assert!(!dir.join("manifest.json.tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn canonical_fingerprint_dedupes_reordered_and_reformatted_specs() {
+        let a = "[campaign]\nname = \"toy\"\ncheckpoint_every = 10\n\n\
+                 [[case]]\nname = \"duct\"\nmesh = \"duct\"\ndegree = 2\nsteps = 5\ndt_max = 1e-2\n";
+        // same campaign: keys reordered, numbers respelled, comments and
+        // stray whitespace added
+        let b = "# reformatted by hand\n[campaign]\ncheckpoint_every=10\n  name = \"toy\"\n\n\
+                 [[case]]\ndt_max = 0.01\nsteps = 5\n   degree = 2\nmesh = \"duct\"  # duct\nname = \"duct\"\n";
+        assert_eq!(canonical_fingerprint(a), canonical_fingerprint(b));
+        assert_ne!(text_fingerprint(a), text_fingerprint(b));
+        // a real edit changes the canonical fingerprint
+        let c = a.replace("steps = 5", "steps = 6");
+        assert_ne!(canonical_fingerprint(a), canonical_fingerprint(&c));
+        // non-spec text falls back to the raw fingerprint
+        assert_eq!(
+            canonical_fingerprint("not a spec ["),
+            text_fingerprint("not a spec [")
+        );
     }
 
     #[test]

@@ -386,6 +386,97 @@ fn split_top_level(s: &str) -> Vec<&str> {
     parts
 }
 
+/// Canonical spelling of one scalar value. Numbers go through `f64` so
+/// `1e-3`/`0.001` and `1`/`1.0` spell identically (the spec layer treats
+/// `Int` and `Float` interchangeably wherever a number is accepted, and
+/// rejects `Float` where an integer is required — so unifying them here
+/// can only merge specs that are semantically identical or invalid).
+fn canonical_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Int(i) => {
+            canonical_number(out, *i as f64);
+        }
+        Value::Float(x) => canonical_number(out, *x),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, (_, item)) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                canonical_value(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Shortest-roundtrip decimal spelling of a number (`Display` on `f64`
+/// prints exact integers without a fraction or exponent).
+fn canonical_number(out: &mut String, x: f64) {
+    use fmt::Write;
+    let _ = write!(out, "{x}");
+}
+
+/// Canonical form of a spec document, for fingerprinting: tables keep
+/// their file order (`[[case]]` order is semantically meaningful), keys
+/// within each table sort lexicographically, whitespace and comments are
+/// dropped, and every value is re-spelled canonically. `keep` filters
+/// keys by `(table name, key)` — the service uses it to ignore keys whose
+/// value it overrides (e.g. `output`).
+pub fn canonicalize_filtered(
+    src: &str,
+    keep: impl Fn(&str, &str) -> bool,
+) -> Result<String, SpecError> {
+    let blocks = parse(src)?;
+    let mut out = String::new();
+    for block in &blocks {
+        let mut entries: Vec<&KeyVal> = block
+            .entries
+            .iter()
+            .filter(|kv| keep(&block.name, &kv.key))
+            .collect();
+        if block.name.is_empty() && entries.is_empty() {
+            continue;
+        }
+        if !block.name.is_empty() {
+            if block.is_array {
+                out.push_str(&format!("[[{}]]\n", block.name));
+            } else {
+                out.push_str(&format!("[{}]\n", block.name));
+            }
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        for kv in entries {
+            out.push_str(&kv.key);
+            out.push_str(" = ");
+            canonical_value(&mut out, &kv.val);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Canonical form of a spec document with every key kept (see
+/// [`canonicalize_filtered`]).
+pub fn canonicalize(src: &str) -> Result<String, SpecError> {
+    canonicalize_filtered(src, |_, _| true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +538,40 @@ degrees = [2, 3, 4]
         assert_eq!(
             blocks[0].entries[0].val,
             Value::Str("a # not comment".to_string())
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_insensitive_to_formatting_and_key_order() {
+        let a =
+            "[campaign]\nname = \"x\"\nmax_parallel = 1\n\n[[case]]\nname = \"a\"\ndt_max = 1e-3\n";
+        let b = "# a comment\n[campaign]\n  max_parallel   =  1\nname=\"x\"\n[[case]]\ndt_max = 0.001   # same number\nname = \"a\"\n";
+        assert_eq!(canonicalize(a).unwrap(), canonicalize(b).unwrap());
+        // integers and exact floats unify
+        assert_eq!(
+            canonicalize("k = 2\n").unwrap(),
+            canonicalize("k = 2.0\n").unwrap()
+        );
+        // a semantic change survives canonicalization
+        assert_ne!(
+            canonicalize("k = 2\n").unwrap(),
+            canonicalize("k = 3\n").unwrap()
+        );
+        // table order is preserved: [[case]] order is meaningful
+        assert_ne!(
+            canonicalize("[[case]]\nname=\"a\"\n[[case]]\nname=\"b\"\n").unwrap(),
+            canonicalize("[[case]]\nname=\"b\"\n[[case]]\nname=\"a\"\n").unwrap()
+        );
+    }
+
+    #[test]
+    fn canonicalize_filtered_drops_selected_keys() {
+        let with = "[campaign]\nname = \"x\"\noutput = \"results/x\"\n";
+        let without = "[campaign]\nname = \"x\"\n";
+        let keep = |table: &str, key: &str| !(table == "campaign" && key == "output");
+        assert_eq!(
+            canonicalize_filtered(with, keep).unwrap(),
+            canonicalize_filtered(without, keep).unwrap()
         );
     }
 }

@@ -1,4 +1,4 @@
-//! `dgflow` — the campaign CLI.
+//! `dgflow` — the campaign and service CLI.
 //!
 //! ```text
 //! dgflow run      <campaign.toml>        start a fresh campaign
@@ -6,12 +6,21 @@
 //! dgflow validate <campaign.toml>        parse + validate, print the plan
 //! dgflow status   <campaign.toml|dir>    manifest with step rate and ETA
 //! dgflow trace    <case-dir|telemetry.jsonl>  export trace.json (Perfetto)
+//! dgflow serve    <state-dir> [--socket P] [--workers N] [--max-in-flight N]
+//! dgflow submit   <socket> <campaign.toml> [--tenant T] [--priority N]
+//! dgflow svc      <socket> status|stats|shutdown
+//! dgflow svc      <socket> result|cancel <job-id>
 //! ```
 //!
 //! `run`/`resume` honour `DGFLOW_TRACE` (`0`/`coarse`/`fine`) and
 //! `DGFLOW_TRACE_SAMPLE`; span and metrics records land in each case's
 //! `telemetry.jsonl`, which `dgflow trace` converts to the Chrome
 //! trace-event format (load in Perfetto or `chrome://tracing`).
+//!
+//! `run`, `resume`, and `serve` install SIGINT/SIGTERM handlers that trip
+//! the [`CancelToken`] for a graceful drain — running cases checkpoint at
+//! the next step boundary instead of dying mid-step; a second signal
+//! exits immediately.
 //!
 //! Exit codes: `0` success (for `run`/`resume`: every case completed),
 //! `1` the campaign ran but at least one case did not complete, `2`
@@ -22,40 +31,45 @@ use dgflow_runtime::json::{self, Json};
 use dgflow_runtime::manifest::Manifest;
 use dgflow_runtime::telemetry::dedup_steps;
 use dgflow_runtime::{run_campaign, CampaignSpec};
+use dgflow_serve::{client_request, serve, signal, ServeConfig};
 use dgflow_trace::SpanRecord;
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dgflow <run|resume|validate|status|trace> <target>\n\
+const USAGE: &str = "usage: dgflow <command> ...\n\
   run      <campaign.toml>        start a fresh campaign\n\
   resume   <campaign.toml|dir>    continue a killed/cancelled one\n\
   validate <campaign.toml>        parse + validate, print the plan\n\
   status   <campaign.toml|dir>    manifest with step rate and ETA\n\
-  trace    <case-dir|telemetry.jsonl>  export trace.json (Perfetto)";
+  trace    <case-dir|telemetry.jsonl>  export trace.json (Perfetto)\n\
+  serve    <state-dir> [--socket P] [--workers N] [--max-in-flight N]\n\
+  submit   <socket> <campaign.toml> [--tenant T] [--priority N]\n\
+  svc      <socket> status|stats|shutdown\n\
+  svc      <socket> result|cancel <job-id>";
 
 fn main() -> ExitCode {
     dgflow_trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, target) = match args.as_slice() {
-        [cmd, target] => (cmd.as_str(), PathBuf::from(target)),
-        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
-    match cmd {
-        "run" => campaign_cmd(&target, false),
-        "resume" => campaign_cmd(&target, true),
-        "validate" => validate(&target),
-        "status" => status(&target),
-        "trace" => trace_cmd(&target),
-        other => {
-            eprintln!("dgflow: unknown command `{other}`\n{USAGE}");
+    match (cmd.as_str(), args.get(1)) {
+        ("help" | "--help" | "-h", _) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        ("run", Some(t)) if args.len() == 2 => campaign_cmd(Path::new(t), false),
+        ("resume", Some(t)) if args.len() == 2 => campaign_cmd(Path::new(t), true),
+        ("validate", Some(t)) if args.len() == 2 => validate(Path::new(t)),
+        ("status", Some(t)) if args.len() == 2 => status(Path::new(t)),
+        ("trace", Some(t)) if args.len() == 2 => trace_cmd(Path::new(t)),
+        ("serve", Some(_)) => serve_cmd(&args[1..]),
+        ("submit", Some(_)) => submit_cmd(&args[1..]),
+        ("svc", Some(_)) => svc_cmd(&args[1..]),
+        (other, _) => {
+            eprintln!("dgflow: bad arguments for `{other}`\n{USAGE}");
             ExitCode::from(2)
         }
     }
@@ -104,6 +118,9 @@ fn campaign_cmd(target: &Path, resume: bool) -> ExitCode {
         spec.output.display()
     );
     let cancel = CancelToken::default();
+    // ^C drains instead of killing: cases checkpoint at the next step
+    // boundary and `dgflow resume` continues them.
+    signal::install(&cancel);
     match run_campaign(&spec, &text, resume, &cancel) {
         Ok(outcome) => {
             print!("{}", outcome.table);
@@ -199,6 +216,7 @@ fn status(target: &Path) -> ExitCode {
                     c.error.as_deref().unwrap_or("")
                 );
             }
+            print_cache_stats(&dir);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -206,6 +224,28 @@ fn status(target: &Path) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Setup/result cache counters from `summary.json`, when the campaign has
+/// one (written at the end of each `run`/`resume`).
+fn print_cache_stats(dir: &Path) {
+    let Ok(text) = std::fs::read_to_string(dir.join("summary.json")) else {
+        return;
+    };
+    let Ok(doc) = json::parse(&text) else { return };
+    let Some(cache) = doc.get("cache") else {
+        return;
+    };
+    let n = |k: &str| cache.get(k).and_then(Json::as_usize).unwrap_or(0);
+    println!(
+        "  cache: shapes {}/{} hit, mappings {}/{} hit, cases {}/{} hit",
+        n("shape_hits"),
+        n("shape_hits") + n("shape_misses"),
+        n("mapping_hits"),
+        n("mapping_hits") + n("mapping_misses"),
+        n("case_hits"),
+        n("case_hits") + n("case_misses"),
+    );
 }
 
 /// Mean wall seconds per step over the trailing window of the case's
@@ -237,6 +277,137 @@ fn format_eta(seconds: f64) -> String {
         format!("{:.1}m", seconds / 60.0)
     } else {
         format!("{seconds:.0}s")
+    }
+}
+
+// ── service verbs ───────────────────────────────────────────────────────
+
+/// Pull the value of `--flag` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Ok(Some(v));
+    }
+    Ok(None)
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<ServeConfig, String> {
+        let socket = take_flag(&mut args, "--socket")?;
+        let workers = take_flag(&mut args, "--workers")?;
+        let max_in_flight = take_flag(&mut args, "--max-in-flight")?;
+        let [state_dir] = args.as_slice() else {
+            return Err("serve takes exactly one state directory".to_string());
+        };
+        let mut cfg = ServeConfig::new(state_dir);
+        if let Some(s) = socket {
+            cfg.socket = PathBuf::from(s);
+        }
+        if let Some(w) = workers {
+            cfg.workers = w.parse().map_err(|_| format!("bad --workers `{w}`"))?;
+        }
+        if let Some(m) = max_in_flight {
+            cfg.max_in_flight = m
+                .parse()
+                .map_err(|_| format!("bad --max-in-flight `{m}`"))?;
+        }
+        Ok(cfg)
+    })();
+    let cfg = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dgflow serve: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cancel = CancelToken::default();
+    signal::install(&cancel);
+    match serve(cfg, &cancel) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dgflow serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn submit_cmd(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let parsed = (|| -> Result<(PathBuf, PathBuf, String, u64), String> {
+        let tenant = take_flag(&mut args, "--tenant")?.unwrap_or_else(|| "default".to_string());
+        let priority = match take_flag(&mut args, "--priority")? {
+            Some(p) => p.parse().map_err(|_| format!("bad --priority `{p}`"))?,
+            None => 1,
+        };
+        let [socket, spec] = args.as_slice() else {
+            return Err("submit takes <socket> <campaign.toml>".to_string());
+        };
+        Ok((PathBuf::from(socket), PathBuf::from(spec), tenant, priority))
+    })();
+    let (socket, spec, tenant, priority) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("dgflow submit: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dgflow submit: {}: {e}", spec.display());
+            return ExitCode::from(2);
+        }
+    };
+    let req = Json::obj([
+        ("verb", Json::Str("submit".to_string())),
+        ("spec", Json::Str(text)),
+        ("tenant", Json::Str(tenant)),
+        ("priority", Json::Num(priority as f64)),
+    ]);
+    do_request(&socket, &req)
+}
+
+fn svc_cmd(args: &[String]) -> ExitCode {
+    let (socket, req) = match args {
+        [socket, verb] if verb == "status" || verb == "stats" || verb == "shutdown" => (
+            PathBuf::from(socket),
+            Json::obj([("verb", Json::Str(verb.clone()))]),
+        ),
+        [socket, verb, job] if verb == "result" || verb == "cancel" => (
+            PathBuf::from(socket),
+            Json::obj([
+                ("verb", Json::Str(verb.clone())),
+                ("job", Json::Str(job.clone())),
+            ]),
+        ),
+        _ => {
+            eprintln!("dgflow svc: bad arguments\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    do_request(&socket, &req)
+}
+
+/// Send one request, print the response line, exit 0 on `ok:true`.
+fn do_request(socket: &Path, req: &Json) -> ExitCode {
+    match client_request(socket, req) {
+        Ok(resp) => {
+            println!("{resp}");
+            if resp.get("ok") == Some(&Json::Bool(true)) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("dgflow: {}: {e}", socket.display());
+            ExitCode::from(2)
+        }
     }
 }
 

@@ -1,0 +1,429 @@
+//! Multi-tenant admission queue with deficit-round-robin fairness.
+//!
+//! The service accepts jobs from many tenants but runs them on a small
+//! worker team, so the dispatch order *is* the fairness policy. The
+//! classic failure mode is a tenant that dumps a hundred campaigns and
+//! starves everyone else; deficit round robin (DRR) fixes that by
+//! metering dispatch by *work*, not by job count:
+//!
+//! * each tenant holds a FIFO of jobs, each with a **cost** (total time
+//!   steps of the campaign — the best a-priori proxy for solve work);
+//! * the dispatcher visits tenants round-robin; each visit adds
+//!   `quantum × weight` to the tenant's **deficit** (its earned credit);
+//! * a tenant may dispatch when its deficit covers its head job's cost,
+//!   paying the cost down from the deficit.
+//!
+//! Over any interval, tenant throughput converges to the ratio of the
+//! weights (the `priority` field of `submit`), cheap jobs from a light
+//! tenant slip between a heavy tenant's big campaigns, and an idle
+//! tenant's deficit resets so credit cannot be hoarded. A per-tenant
+//! **in-flight cap** bounds how many of one tenant's jobs occupy workers
+//! simultaneously, which keeps the pipeline fair even when one tenant's
+//! jobs are long and the queue is otherwise empty.
+//!
+//! The scheduler distinguishes two shutdown modes: [`FairScheduler::close`]
+//! drains (workers keep popping until the queues are empty, then get
+//! `None`), while [`FairScheduler::halt`] stops dispatch immediately and
+//! *keeps* queued jobs — that is the daemon-shutdown path, where queued
+//! work must survive on disk for the next daemon to resume.
+//!
+//! All synchronization goes through the `dgflow_check` shim seam, so
+//! `cargo xtask model` can exhaustively check the admission/drain paths
+//! (see `crates/check/tests/serve_model.rs` and its broken twins).
+
+use dgflow_check::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Work credit added per tenant visit per unit weight. The absolute value
+/// is irrelevant (only weight ratios matter); 1 keeps deficits small.
+const QUANTUM: u64 = 1;
+
+struct Job<T> {
+    cost: u64,
+    item: T,
+}
+
+struct Tenant<T> {
+    name: String,
+    weight: u64,
+    deficit: u64,
+    queue: VecDeque<Job<T>>,
+    in_flight: usize,
+    max_in_flight: usize,
+}
+
+struct State<T> {
+    tenants: Vec<Tenant<T>>,
+    /// Round-robin scan start, advanced past each dispatching tenant.
+    cursor: usize,
+    /// `close()` called: drain remaining jobs, then `next` returns `None`.
+    closed: bool,
+    /// `halt()` called: `next` returns `None` immediately, jobs kept.
+    halted: bool,
+}
+
+/// Per-tenant queue state, for `stats`/`status` reporting.
+#[derive(Clone, Debug)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// DRR weight.
+    pub weight: u64,
+    /// Jobs waiting in this tenant's FIFO.
+    pub queued: usize,
+    /// Jobs currently occupying workers.
+    pub in_flight: usize,
+    /// Unspent work credit.
+    pub deficit: u64,
+}
+
+/// The admission queue. `T` is the job payload (the service uses the job
+/// fingerprint).
+pub struct FairScheduler<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on submit, job completion, close, and halt.
+    work: Condvar,
+}
+
+impl<T> Default for FairScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FairScheduler<T> {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(State {
+                tenants: Vec::new(),
+                cursor: 0,
+                closed: false,
+                halted: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a job for `tenant`, creating the tenant lane on first use
+    /// (`weight`/`max_in_flight` update the lane on every call, so a
+    /// resubmission with a new priority takes effect). Returns `false`
+    /// (dropping the job) once the scheduler is closed or halted.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        weight: u64,
+        max_in_flight: usize,
+        cost: u64,
+        item: T,
+    ) -> bool {
+        let mut s = self.state.lock();
+        if s.closed || s.halted {
+            return false;
+        }
+        let idx = match s.tenants.iter().position(|t| t.name == tenant) {
+            Some(i) => i,
+            None => {
+                s.tenants.push(Tenant {
+                    name: tenant.to_string(),
+                    weight: 1,
+                    deficit: 0,
+                    queue: VecDeque::new(),
+                    in_flight: 0,
+                    max_in_flight: 1,
+                });
+                s.tenants.len() - 1
+            }
+        };
+        let t = &mut s.tenants[idx];
+        t.weight = weight.max(1);
+        t.max_in_flight = max_in_flight.max(1);
+        t.queue.push_back(Job { cost, item });
+        self.work.notify_one();
+        true
+    }
+
+    /// Blocking dispatch: the next job under the DRR policy, as
+    /// `(tenant name, payload)`. Increments the tenant's in-flight count;
+    /// the worker must pair it with [`FairScheduler::done`]. Returns
+    /// `None` after `halt()`, or after `close()` once every queue is
+    /// empty.
+    pub fn next(&self) -> Option<(String, T)> {
+        let mut s = self.state.lock();
+        loop {
+            if s.halted {
+                return None;
+            }
+            if let Some(idx) = pick(&mut s) {
+                let cursor = idx + 1;
+                let t = &mut s.tenants[idx];
+                let job = t.queue.pop_front().expect("picked tenant has a job");
+                t.deficit -= job.cost.min(t.deficit);
+                if t.queue.is_empty() {
+                    // An idle tenant must not hoard credit it would spend
+                    // in a burst later — DRR resets the deficit with the
+                    // queue.
+                    t.deficit = 0;
+                }
+                t.in_flight += 1;
+                let name = t.name.clone();
+                s.cursor = cursor;
+                return Some((name, job.item));
+            }
+            if s.closed && s.tenants.iter().all(|t| t.queue.is_empty()) {
+                return None;
+            }
+            self.work.wait(&mut s);
+        }
+    }
+
+    /// Mark one of `tenant`'s dispatched jobs finished, freeing its
+    /// in-flight slot.
+    pub fn done(&self, tenant: &str) {
+        let mut s = self.state.lock();
+        if let Some(t) = s.tenants.iter_mut().find(|t| t.name == tenant) {
+            t.in_flight = t.in_flight.saturating_sub(1);
+        }
+        // A freed cap slot can unblock any waiting worker.
+        self.work.notify_all();
+    }
+
+    /// Stop admissions and let workers drain the queues; `next` returns
+    /// `None` once they are empty.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.work.notify_all();
+    }
+
+    /// Stop dispatch immediately, *keeping* queued jobs (daemon shutdown:
+    /// the durable job table re-admits them on restart).
+    pub fn halt(&self) {
+        self.state.lock().halted = true;
+        self.work.notify_all();
+    }
+
+    /// Remove every queued job matching `pred` (used by the `cancel`
+    /// verb), returning the removed payloads. Running jobs are unaffected.
+    pub fn remove_where(&self, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut s = self.state.lock();
+        let mut removed = Vec::new();
+        for t in &mut s.tenants {
+            let mut kept = VecDeque::with_capacity(t.queue.len());
+            for job in t.queue.drain(..) {
+                if pred(&job.item) {
+                    removed.push(job.item);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            t.queue = kept;
+        }
+        if !removed.is_empty() {
+            // Queues changed; a drain waiting on "closed && empty" may now
+            // be able to finish.
+            self.work.notify_all();
+        }
+        removed
+    }
+
+    /// Jobs waiting across all tenants.
+    pub fn queued_len(&self) -> usize {
+        self.state
+            .lock()
+            .tenants
+            .iter()
+            .map(|t| t.queue.len())
+            .sum()
+    }
+
+    /// Point-in-time per-tenant state.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        self.state
+            .lock()
+            .tenants
+            .iter()
+            .map(|t| TenantSnapshot {
+                name: t.name.clone(),
+                weight: t.weight,
+                queued: t.queue.len(),
+                in_flight: t.in_flight,
+                deficit: t.deficit,
+            })
+            .collect()
+    }
+}
+
+/// One DRR decision: the index of the tenant that dispatches next, or
+/// `None` when no tenant is eligible (all queues empty, or every backlog
+/// belongs to tenants at their in-flight cap).
+///
+/// Instead of looping visit-by-visit, this computes the number of whole
+/// rounds `r` until the first eligible tenant can afford its head job
+/// (each round adds `QUANTUM × weight` to every eligible tenant), credits
+/// all eligible tenants with `r` rounds at once, and then scans from the
+/// cursor for the winner — identical outcome to the textbook loop, O(n).
+fn pick<T>(s: &mut State<T>) -> Option<usize> {
+    let eligible: Vec<usize> = (0..s.tenants.len())
+        .filter(|&i| {
+            let t = &s.tenants[i];
+            !t.queue.is_empty() && t.in_flight < t.max_in_flight
+        })
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    let rounds_needed = |t: &Tenant<T>| -> u64 {
+        let head = t.queue.front().expect("eligible tenant has a job").cost;
+        let need = head.saturating_sub(t.deficit);
+        let per_round = QUANTUM * t.weight;
+        need.div_ceil(per_round)
+    };
+    let r = eligible
+        .iter()
+        .map(|&i| rounds_needed(&s.tenants[i]))
+        .min()
+        .expect("eligible is non-empty");
+    for &i in &eligible {
+        let t = &mut s.tenants[i];
+        t.deficit = t.deficit.saturating_add(r * QUANTUM * t.weight);
+    }
+    // First affordable tenant in round-robin order from the cursor.
+    let n = s.tenants.len();
+    (0..n).map(|k| (s.cursor + k) % n).find(|&i| {
+        eligible.contains(&i) && {
+            let t = &s.tenants[i];
+            t.deficit >= t.queue.front().expect("eligible tenant has a job").cost
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn drain_order(sched: &FairScheduler<&'static str>, n: usize) -> Vec<String> {
+        let mut order = Vec::new();
+        for _ in 0..n {
+            let (tenant, _) = sched.next().expect("job available");
+            order.push(tenant.clone());
+            sched.done(&tenant);
+        }
+        order
+    }
+
+    #[test]
+    fn equal_weights_interleave_equal_costs() {
+        let s = FairScheduler::new();
+        for _ in 0..3 {
+            assert!(s.submit("a", 1, 4, 10, "ja"));
+            assert!(s.submit("b", 1, 4, 10, "jb"));
+        }
+        let order = drain_order(&s, 6);
+        // Strict alternation: equal weights and equal costs.
+        assert_eq!(order, ["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn weights_set_the_dispatch_ratio() {
+        let s = FairScheduler::new();
+        for _ in 0..8 {
+            s.submit("heavy", 3, 8, 10, "h");
+            s.submit("light", 1, 8, 10, "l");
+        }
+        let order = drain_order(&s, 8);
+        let heavy = order.iter().filter(|t| *t == "heavy").count();
+        // weight 3 vs 1 → roughly 3/4 of early dispatches go to `heavy`.
+        assert!(
+            (5..=7).contains(&heavy),
+            "heavy got {heavy} of 8: {order:?}"
+        );
+    }
+
+    #[test]
+    fn cheap_jobs_slip_between_expensive_ones() {
+        let s = FairScheduler::new();
+        // `big` queues 4 expensive campaigns first, `small` 4 cheap ones.
+        for _ in 0..4 {
+            s.submit("big", 1, 8, 100, "B");
+        }
+        for _ in 0..4 {
+            s.submit("small", 1, 8, 1, "s");
+        }
+        let order = drain_order(&s, 8);
+        // By work metering, `small` finishes all 4 jobs before `big`
+        // dispatches its second (4 × 1 vs 100 per job).
+        let second_big = order
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| *t == "big")
+            .nth(1)
+            .map(|(i, _)| i)
+            .expect("big dispatches twice");
+        let last_small = order
+            .iter()
+            .rposition(|t| t == "small")
+            .expect("small dispatched");
+        assert!(
+            last_small < second_big,
+            "small jobs should precede big's second: {order:?}"
+        );
+    }
+
+    #[test]
+    fn in_flight_cap_blocks_and_done_unblocks() {
+        let s = Arc::new(FairScheduler::new());
+        s.submit("a", 1, 1, 5, 1_u32);
+        s.submit("a", 1, 1, 5, 2_u32);
+        let (t, first) = s.next().expect("first job");
+        assert_eq!((t.as_str(), first), ("a", 1));
+        // Cap of 1: the second job must wait for `done`.
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || s2.next());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.done("a");
+        let (_, second) = h.join().unwrap().expect("second job after done");
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let s = FairScheduler::new();
+        s.submit("a", 1, 2, 1, "x");
+        s.close();
+        assert!(!s.submit("a", 1, 2, 1, "y"), "closed rejects submissions");
+        assert!(s.next().is_some(), "queued job still drains");
+        s.done("a");
+        assert!(s.next().is_none(), "drained + closed ends dispatch");
+    }
+
+    #[test]
+    fn halt_keeps_queued_jobs() {
+        let s = FairScheduler::new();
+        s.submit("a", 1, 2, 1, "x");
+        s.halt();
+        assert!(s.next().is_none(), "halt stops dispatch immediately");
+        assert_eq!(s.queued_len(), 1, "queued job survives for restart");
+    }
+
+    #[test]
+    fn remove_where_cancels_queued_jobs() {
+        let s = FairScheduler::new();
+        s.submit("a", 1, 2, 1, 1_u32);
+        s.submit("a", 1, 2, 1, 2_u32);
+        s.submit("b", 1, 2, 1, 3_u32);
+        let removed = s.remove_where(|&j| j == 2);
+        assert_eq!(removed, [2]);
+        assert_eq!(s.queued_len(), 2);
+    }
+
+    #[test]
+    fn idle_tenant_deficit_resets() {
+        let s = FairScheduler::new();
+        s.submit("a", 1, 4, 1, "a1");
+        let _ = s.next().expect("a1");
+        s.done("a");
+        let snap = s.snapshot();
+        assert_eq!(snap[0].deficit, 0, "empty queue resets credit");
+    }
+}

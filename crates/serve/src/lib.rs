@@ -1,0 +1,73 @@
+//! `dgflow-serve` — the persistent multi-tenant simulation service.
+//!
+//! `dgflow-runtime` runs one campaign per process; this crate turns the
+//! solver stack into a *backend* behind a long-running daemon:
+//!
+//! * **Protocol** ([`proto`]) — line-delimited JSON over a Unix domain
+//!   socket: `submit | status | result | cancel | stats | shutdown`.
+//! * **Durable job queue** ([`queue`]) — accepted jobs persist to
+//!   `queue.json` (tmp + fsync + rename, like the campaign manifest)
+//!   *before* the submit is acknowledged; a killed daemon restarts with
+//!   its queue intact and resumes running jobs from their checkpoints.
+//! * **Fairness** ([`fair`]) — deficit-round-robin dispatch across
+//!   tenants, weighted by the `priority` field and metered by campaign
+//!   step cost, with per-tenant in-flight caps. Built on the
+//!   `dgflow_check` shim seam so `cargo xtask model` exhaustively checks
+//!   the admission/drain paths.
+//! * **Result store** ([`service`]) — jobs are keyed by the *canonical*
+//!   fingerprint of their spec ([`job_fingerprint`]); a resubmission of a
+//!   semantically identical spec (any key order, whitespace, or number
+//!   spelling) is a whole-case cache hit served from the stored
+//!   `summary.json` without solving a single step.
+//! * **Telemetry aggregation** ([`service`]) — per-case JSONL telemetry
+//!   streams into the `dgflow-trace` metrics registry (throughput,
+//!   latency, queue depth), exported by the `stats` verb.
+//! * **Signals** ([`signal`]) — SIGINT/SIGTERM trip the
+//!   [`dgflow_comm::CancelToken`] for drain-and-checkpoint shutdown in
+//!   both `dgflow run` and `dgflow serve`.
+//!
+//! The `dgflow` binary (in `src/bin/dgflow.rs`) front-ends both layers:
+//! the classic one-shot verbs (`run`/`resume`/`validate`/`status`/
+//! `trace`) and the service verbs (`serve`/`submit`/`svc`).
+
+pub mod fair;
+pub mod proto;
+pub mod queue;
+pub mod service;
+pub mod signal;
+
+pub use fair::{FairScheduler, TenantSnapshot};
+pub use queue::{JobRecord, JobState, JobTable};
+pub use service::{client_request, serve, ServeConfig};
+
+/// The service's job identity: the FNV-1a fingerprint of the canonical
+/// form of the spec with `campaign.output` dropped — the service chooses
+/// output placement itself, so two clients submitting the same physics
+/// with different scratch paths still dedupe to one job. Falls back to
+/// the raw-text fingerprint for unparseable specs (which `submit`
+/// rejects anyway, so the fallback only keeps the function total).
+pub fn job_fingerprint(spec_text: &str) -> u64 {
+    match dgflow_runtime::toml::canonicalize_filtered(spec_text, |table, key| {
+        !(table == "campaign" && key == "output")
+    }) {
+        Ok(canon) => dgflow_runtime::text_fingerprint(&canon),
+        Err(_) => dgflow_runtime::text_fingerprint(spec_text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_fingerprint_ignores_output_placement() {
+        let a = "[campaign]\nname = \"toy\"\noutput = \"/tmp/a\"\n\n\
+                 [[case]]\nname = \"c\"\nmesh = \"duct\"\nsteps = 3\n";
+        let b = "[campaign]\noutput = \"/scratch/b\"\nname = \"toy\"\n\n\
+                 [[case]]\nsteps = 3\nmesh = \"duct\"\nname = \"c\"\n";
+        assert_eq!(job_fingerprint(a), job_fingerprint(b));
+        // ... but not the physics
+        let c = a.replace("steps = 3", "steps = 4");
+        assert_ne!(job_fingerprint(a), job_fingerprint(&c));
+    }
+}

@@ -1,0 +1,186 @@
+//! The wire protocol: line-delimited JSON over a Unix domain socket.
+//!
+//! One request object per line, one response object per line, in order.
+//! Requests carry a `verb` plus verb-specific fields; responses always
+//! carry `ok` (and `error` when `ok` is false). The protocol is
+//! deliberately dumb — any language with a JSON encoder and a Unix
+//! socket is a client, e.g.:
+//!
+//! ```text
+//! $ printf '%s\n' '{"verb":"stats"}' | nc -U state/dgflow.sock
+//! ```
+//!
+//! | verb       | fields                                     | reply |
+//! |------------|--------------------------------------------|-------|
+//! | `submit`   | `spec` (TOML text), `tenant`?, `priority`? | `job` id, `state`, `cached` |
+//! | `status`   | `job`? (id)                                | job list or one job |
+//! | `result`   | `job` (id)                                 | the campaign `summary.json` |
+//! | `cancel`   | `job` (id)                                 | resulting `state` |
+//! | `stats`    | —                                          | service counters, per-tenant queues, cache |
+//! | `shutdown` | —                                          | ack; daemon halts, queued jobs kept |
+
+use dgflow_runtime::json::{self, Json};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a campaign spec.
+    Submit {
+        /// Raw TOML spec text.
+        spec: String,
+        /// Tenant lane (default `"default"`).
+        tenant: String,
+        /// DRR weight (default 1).
+        priority: u64,
+    },
+    /// Job list, or one job when `job` is given.
+    Status {
+        /// Job id (16-hex-digit fingerprint).
+        job: Option<u64>,
+    },
+    /// Fetch a completed job's summary document.
+    Result {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Service metrics.
+    Stats,
+    /// Graceful daemon shutdown (queued jobs survive on disk).
+    Shutdown,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line)?;
+    let verb = doc
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or("request missing `verb`")?;
+    let job_id = |required: bool| -> Result<Option<u64>, String> {
+        match doc.get("job") {
+            Some(j) => {
+                let s = j.as_str().ok_or("`job` must be a string id")?;
+                Ok(Some(
+                    u64::from_str_radix(s, 16).map_err(|_| format!("invalid job id `{s}`"))?,
+                ))
+            }
+            None if required => Err("request missing `job`".to_string()),
+            None => Ok(None),
+        }
+    };
+    Ok(match verb {
+        "submit" => Request::Submit {
+            spec: doc
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or("submit missing `spec`")?
+                .to_string(),
+            tenant: doc
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("default")
+                .to_string(),
+            priority: doc.get("priority").and_then(Json::as_usize).unwrap_or(1) as u64,
+        },
+        "status" => Request::Status {
+            job: job_id(false)?,
+        },
+        "result" => Request::Result {
+            job: job_id(true)?.expect("required job id"),
+        },
+        "cancel" => Request::Cancel {
+            job: job_id(true)?.expect("required job id"),
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown verb `{other}`")),
+    })
+}
+
+/// An `{"ok":true, ...}` response with extra fields.
+pub fn ok_response(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs)
+}
+
+/// An `{"ok":false,"error":...}` response.
+pub fn err_response(msg: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.to_string())),
+    ])
+}
+
+/// Format a job id the way clients pass it back.
+pub fn job_id_str(fingerprint: u64) -> String {
+    format!("{fingerprint:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_verb() {
+        assert_eq!(
+            parse_request(r#"{"verb":"submit","spec":"[campaign]","tenant":"a","priority":3}"#)
+                .unwrap(),
+            Request::Submit {
+                spec: "[campaign]".to_string(),
+                tenant: "a".to_string(),
+                priority: 3,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"submit","spec":"x"}"#).unwrap(),
+            Request::Submit {
+                spec: "x".to_string(),
+                tenant: "default".to_string(),
+                priority: 1,
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"status"}"#).unwrap(),
+            Request::Status { job: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"result","job":"00000000000000ff"}"#).unwrap(),
+            Request::Result { job: 0xff }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"cancel","job":"1a"}"#).unwrap(),
+            Request::Cancel { job: 0x1a }
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"verb":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"verb":"fly"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"submit"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"result"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"result","job":"zz"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_have_the_ok_envelope() {
+        let ok = ok_response([("job", Json::Str(job_id_str(0xab)))]);
+        assert_eq!(ok.to_string(), r#"{"ok":true,"job":"00000000000000ab"}"#);
+        let err = err_response("nope");
+        assert_eq!(err.to_string(), r#"{"ok":false,"error":"nope"}"#);
+    }
+}

@@ -1,0 +1,110 @@
+//! SIGINT/SIGTERM → [`CancelToken`]: graceful drain instead of abrupt
+//! death.
+//!
+//! The offline build has no `libc` crate, so the handler installation
+//! uses the raw C `signal(2)` entry point directly. The handler itself
+//! does the only thing that is async-signal-safe here — it stores into a
+//! static atomic — and a watcher thread polls that flag and trips the
+//! [`CancelToken`], from which the normal cancellation machinery
+//! (scheduler stops feeding, cases checkpoint at the next step boundary)
+//! takes over. A second signal while the first drain is in progress
+//! calls `_exit(130)`: the operator asked twice, so stop immediately —
+//! the atomic manifest/queue writes mean even that loses nothing already
+//! on disk.
+
+use dgflow_comm::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// `SIGINT` number on Linux.
+const SIGINT: i32 = 2;
+/// `SIGTERM` number on Linux.
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// C `signal(2)`. The handler is passed as a plain address, which is
+    /// what the C ABI expects for `sighandler_t`.
+    fn signal(signum: i32, handler: usize) -> usize;
+    /// C `_exit(2)` — async-signal-safe immediate process exit.
+    fn _exit(status: i32) -> !;
+}
+
+/// Set by the handler, drained by the watcher thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // ordering: SeqCst — executes in signal context where only a single
+    // total order is worth reasoning about; cost is irrelevant here.
+    if SIGNALLED.swap(true, Ordering::SeqCst) {
+        // Second signal: the operator wants out *now*. 128 + SIGINT is
+        // the conventional "killed by signal 2" exit status.
+        // SAFETY: `_exit` is async-signal-safe by POSIX; it never returns
+        // and touches no process state that could be mid-mutation.
+        unsafe { _exit(130) }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that trip `cancel`.
+///
+/// Returns immediately; a detached watcher thread polls the signal flag
+/// (50 ms cadence — far below human reaction time, invisible next to a
+/// solver step) and cancels the token once. Call at most once per
+/// process; later calls just re-install the same handler.
+pub fn install(cancel: &CancelToken) {
+    let handler = on_signal as *const () as usize;
+    // SAFETY: `signal` is the C library's own installer; `on_signal` is a
+    // valid `extern "C" fn(i32)` for the whole program lifetime, and it
+    // only performs an atomic store/swap (async-signal-safe).
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+    let cancel = cancel.clone();
+    std::thread::spawn(move || loop {
+        // ordering: SeqCst — pairs with the handler's swap; see above.
+        if SIGNALLED.load(Ordering::SeqCst) {
+            cancel.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+/// Has a signal been received? (Used by tests and the daemon's accept
+/// loop, which must distinguish "client asked for shutdown" from
+/// "operator sent a signal" only for logging.)
+pub fn signalled() -> bool {
+    // ordering: SeqCst — see `on_signal`.
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        /// C `raise(3)`: send a signal to the calling thread.
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigint_trips_the_token_once() {
+        let cancel = CancelToken::default();
+        install(&cancel);
+        assert!(!cancel.is_cancelled());
+        // SAFETY: `raise` delivers SIGINT to this process, whose handler
+        // (installed above) only swaps an atomic.
+        unsafe {
+            raise(SIGINT);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !cancel.is_cancelled() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "watcher never tripped the token"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(signalled());
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end service test, in-process: a daemon thread serves a real
+//! Unix socket while the test plays two clients. Exercises the dedup
+//! contract of the result store — a duplicate submission (even
+//! reformatted) is a whole-case cache hit that solves zero steps — plus
+//! dedup-join of an in-flight job and graceful `shutdown`.
+
+use dgflow_comm::CancelToken;
+use dgflow_runtime::json::Json;
+use dgflow_serve::{client_request, serve, ServeConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn spec_text() -> String {
+    // Tiny but real: a coarse duct case that solves in well under a
+    // second. `output` is present (clients usually set one) and ignored
+    // by the service, which owns placement.
+    r#"
+[campaign]
+name = "dedup-toy"
+output = "/tmp/ignored-by-service"
+checkpoint_every = 4
+
+[[case]]
+name = "a"
+mesh = "duct"
+degree = 2
+steps = 4
+dt_max = 0.01
+viscosity = 0.5
+multigrid = false
+pressure_drop = 0.1
+"#
+    .to_string()
+}
+
+/// The same campaign, reordered keys / respelled numbers / comments.
+fn spec_text_reformatted() -> String {
+    r#"
+# resubmitted by a second client
+[campaign]
+checkpoint_every = 4
+output = "/elsewhere"
+name = "dedup-toy"
+
+[[case]]
+pressure_drop = 1e-1
+multigrid = false
+viscosity = 5e-1
+dt_max = 1e-2
+steps = 4
+degree = 2
+mesh = "duct"
+name = "a"
+"#
+    .to_string()
+}
+
+fn submit(socket: &Path, spec: &str, tenant: &str) -> Json {
+    let req = Json::obj([
+        ("verb", Json::Str("submit".to_string())),
+        ("spec", Json::Str(spec.to_string())),
+        ("tenant", Json::Str(tenant.to_string())),
+    ]);
+    client_request(socket, &req).expect("submit request")
+}
+
+fn stats(socket: &Path) -> Json {
+    client_request(
+        socket,
+        &Json::obj([("verb", Json::Str("stats".to_string()))]),
+    )
+    .expect("stats")
+}
+
+fn wait_for_state(socket: &Path, job: &str, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let req = Json::obj([
+            ("verb", Json::Str("status".to_string())),
+            ("job", Json::Str(job.to_string())),
+        ]);
+        let resp = client_request(socket, &req).expect("status request");
+        let state = resp.get("jobs").and_then(Json::as_arr).and_then(|jobs| {
+            jobs.first()
+                .and_then(|j| j.get("state"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        });
+        if state.as_deref() == Some(want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {job} never reached `{want}` (last: {state:?})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn duplicate_submission_is_a_cache_hit_that_solves_zero_steps() {
+    let dir = std::env::temp_dir().join(format!("dgflow-serve-dedup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig::new(&dir);
+    let socket: PathBuf = cfg.socket.clone();
+    let cancel = CancelToken::default();
+    let daemon = std::thread::spawn(move || serve(cfg, &cancel));
+
+    // Wait for the socket to appear.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Client 1 submits; the job is accepted and eventually completes.
+    let first = submit(&socket, &spec_text(), "alice");
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    let job = first.get("job").and_then(Json::as_str).unwrap().to_string();
+    wait_for_state(&socket, &job, "completed");
+
+    let steps_before = stats(&socket)
+        .get("steps_total")
+        .and_then(Json::as_usize)
+        .unwrap();
+
+    // Client 2 submits the *reformatted* spelling of the same campaign:
+    // same canonical fingerprint → whole-case cache hit, zero solving.
+    let second = submit(&socket, &spec_text_reformatted(), "bob");
+    assert_eq!(second.get("ok"), Some(&Json::Bool(true)), "{second}");
+    assert_eq!(second.get("job").and_then(Json::as_str), Some(job.as_str()));
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(
+        second.get("state").and_then(Json::as_str),
+        Some("completed")
+    );
+
+    // The result is served from the store...
+    let result = client_request(
+        &socket,
+        &Json::obj([
+            ("verb", Json::Str("result".to_string())),
+            ("job", Json::Str(job.clone())),
+        ]),
+    )
+    .expect("result request");
+    assert_eq!(result.get("ok"), Some(&Json::Bool(true)), "{result}");
+    let summary = result.get("summary").expect("summary document");
+    assert_eq!(
+        summary.get("campaign").and_then(Json::as_str),
+        Some("dedup-toy")
+    );
+
+    // ...and the hit/miss ledger proves nothing re-solved: one case hit,
+    // one miss (the original execution), no new steps.
+    let s = stats(&socket);
+    let cache = s.get("cache").expect("cache stats");
+    assert_eq!(cache.get("case_hits").and_then(Json::as_usize), Some(1));
+    assert_eq!(cache.get("case_misses").and_then(Json::as_usize), Some(1));
+    let steps_after = s.get("steps_total").and_then(Json::as_usize).unwrap();
+    assert_eq!(
+        steps_after, steps_before,
+        "cache hit must not solve any steps"
+    );
+    assert_eq!(s.get("jobs_completed").and_then(Json::as_usize), Some(1));
+
+    // Graceful shutdown: the verb is acknowledged and the daemon exits.
+    let bye = client_request(
+        &socket,
+        &Json::obj([("verb", Json::Str("shutdown".to_string()))]),
+    )
+    .expect("shutdown request");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    assert!(!socket.exists(), "socket removed on shutdown");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

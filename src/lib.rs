@@ -23,6 +23,7 @@
 //! | [`comm`] | thread-rank message passing, ghost exchange, parallel_for |
 //! | [`perfmodel`] | roofline + strong/weak scaling models |
 //! | [`runtime`] | campaign runtime: case specs, scheduling, checkpoints, telemetry |
+//! | [`serve`] | `dgflow serve`: multi-tenant daemon, durable job queue, result cache |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use dgflow_mesh as mesh;
 pub use dgflow_multigrid as multigrid;
 pub use dgflow_perfmodel as perfmodel;
 pub use dgflow_runtime as runtime;
+pub use dgflow_serve as serve;
 pub use dgflow_simd as simd;
 pub use dgflow_solvers as solvers;
 pub use dgflow_tensor as tensor;

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "tsan" => tsan(rest.iter().any(|a| a == "--strict")),
         "runtime-smoke" => runtime_smoke(),
         "trace-smoke" => trace_smoke(),
+        "serve-smoke" => serve_smoke(),
         "ci" => ci(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -76,7 +77,8 @@ fn print_help() {
          tsan          ThreadSanitizer over the comm/runtime test suites (nightly; --strict to fail when unavailable)\n  \
          runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
          trace-smoke   traced toy campaign -> `dgflow trace` -> validate the Chrome export\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + trace-smoke + miri + tsan"
+         serve-smoke   daemon dedup + DRR fairness + SIGKILL/restart recovery + clean shutdown\n  \
+         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + trace-smoke + serve-smoke + miri + tsan"
     );
 }
 
@@ -254,23 +256,29 @@ fn tsan(strict: bool) -> bool {
     true
 }
 
+/// Build the `dgflow` binary (owned by `dgflow-serve`, which layers the
+/// service verbs over the campaign runtime) in release mode.
+fn build_dgflow_bin() -> bool {
+    step(
+        "build dgflow",
+        cargo().args([
+            "build",
+            "--release",
+            "-p",
+            "dgflow-serve",
+            "--bin",
+            "dgflow",
+        ]),
+    )
+}
+
 /// Fault-tolerance smoke test of the campaign runtime, end to end
 /// through the real `dgflow` binary: run a 2-case toy campaign, kill the
 /// process right after the 2nd checkpoint (simulated power loss via the
 /// `DGFLOW_TEST_ABORT_AFTER_CHECKPOINTS` knob), resume, and assert the
 /// manifest reports every case completed.
 fn runtime_smoke() -> bool {
-    if !step(
-        "build dgflow",
-        cargo().args([
-            "build",
-            "--release",
-            "-p",
-            "dgflow-runtime",
-            "--bin",
-            "dgflow",
-        ]),
-    ) {
+    if !build_dgflow_bin() {
         return false;
     }
     let bin = std::path::Path::new("target/release/dgflow");
@@ -345,17 +353,7 @@ fn runtime_smoke() -> bool {
 /// its telemetry with `dgflow trace`, and sanity-check the Chrome
 /// trace-event export that Perfetto would load.
 fn trace_smoke() -> bool {
-    if !step(
-        "build dgflow",
-        cargo().args([
-            "build",
-            "--release",
-            "-p",
-            "dgflow-runtime",
-            "--bin",
-            "dgflow",
-        ]),
-    ) {
+    if !build_dgflow_bin() {
         return false;
     }
     let bin = std::path::Path::new("target/release/dgflow");
@@ -416,6 +414,239 @@ fn trace_smoke() -> bool {
     true
 }
 
+/// Service smoke test, end to end through the real `dgflow` binary and a
+/// real Unix socket: start the daemon, then prove the three properties
+/// the service exists for —
+///
+/// 1. **dedup**: a reformatted duplicate submission is a whole-case
+///    cache hit (same job id, `cached:true`, case-hit counter bumped,
+///    zero extra steps solved);
+/// 2. **fairness**: with one tenant holding a backlog, a second
+///    tenant's job overtakes it in the DRR dispatch order;
+/// 3. **durability**: SIGKILL the daemon mid-queue, restart it on the
+///    same state dir, and every accepted job still completes.
+///
+/// Ends with a clean client-driven `shutdown`.
+fn serve_smoke() -> bool {
+    if !build_dgflow_bin() {
+        return false;
+    }
+    let mut daemons: Vec<std::process::Child> = Vec::new();
+    let result = serve_smoke_inner(&mut daemons);
+    // Reap whatever is still alive (on success both daemons have exited).
+    for d in &mut daemons {
+        let _ = d.kill();
+        let _ = d.wait();
+    }
+    match result {
+        Ok(()) => {
+            eprintln!("xtask: serve-smoke: dedup + fairness + kill/restart + shutdown all clean");
+            true
+        }
+        Err(e) => {
+            eprintln!("xtask: serve-smoke: {e}");
+            false
+        }
+    }
+}
+
+fn serve_smoke_inner(daemons: &mut Vec<std::process::Child>) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+
+    let bin = std::path::Path::new("target/release/dgflow");
+    let dir = std::env::temp_dir().join(format!("dgflow-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let state = dir.join("state").display().to_string();
+    let socket = dir.join("state/dgflow.sock").display().to_string();
+
+    let toy = |campaign: &str, steps: u32, drop: f64| {
+        format!(
+            "[campaign]\nname = \"{campaign}\"\ncheckpoint_every = 2\n\n\
+             [[case]]\nname = \"a\"\nmesh = \"duct\"\ndegree = 2\nsteps = {steps}\n\
+             dt_max = 0.01\nviscosity = 0.5\nmultigrid = false\npressure_drop = {drop}\n"
+        )
+    };
+    let write_spec = |file: &str, text: &str| -> Result<String, String> {
+        let p = dir.join(file);
+        std::fs::write(&p, text).map_err(|e| format!("write {}: {e}", p.display()))?;
+        Ok(p.display().to_string())
+    };
+    let client = |args: &[&str]| -> Result<String, String> {
+        let out = Command::new(bin)
+            .args(args)
+            .output()
+            .map_err(|e| format!("launch dgflow: {e}"))?;
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        if out.status.success() {
+            Ok(stdout)
+        } else {
+            Err(format!(
+                "dgflow {args:?} failed ({}): {stdout}{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ))
+        }
+    };
+    let submit = |spec: &str, tenant: &str| -> Result<String, String> {
+        let out = client(&["submit", &socket, spec, "--tenant", tenant])?;
+        out.split("\"job\":\"")
+            .nth(1)
+            .and_then(|s| s.get(..16))
+            .map(str::to_string)
+            .ok_or_else(|| format!("no job id in submit response: {out}"))
+    };
+    let wait_until = |what: &str, secs: u64, pred: &dyn Fn() -> bool| -> Result<(), String> {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while !pred() {
+            if Instant::now() >= deadline {
+                return Err(format!("timed out waiting for {what}"));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        Ok(())
+    };
+    let start_daemon = |daemons: &mut Vec<std::process::Child>| -> Result<(), String> {
+        let child = Command::new(bin)
+            .args(["serve", &state, "--workers", "1"])
+            .spawn()
+            .map_err(|e| format!("spawn daemon: {e}"))?;
+        daemons.push(child);
+        // Ready when a real request round-trips (a stale socket file from
+        // a killed daemon refuses connections, so polling for the path is
+        // not enough).
+        wait_until("daemon socket", 30, &|| {
+            client(&["svc", &socket, "status"]).is_ok()
+        })
+    };
+
+    // Distinct campaigns -> distinct fingerprints (name + pressure_drop).
+    let dedup = write_spec("dedup.toml", &toy("smoke-dedup", 4, 0.1))?;
+    let dedup_dup = write_spec(
+        "dedup-reformatted.toml",
+        "# duplicate submitted by a second client\n\
+         [campaign]\ncheckpoint_every = 2\nname = \"smoke-dedup\"\n\n\
+         [[case]]\npressure_drop = 1e-1\nmultigrid = false\nviscosity = 5e-1\n\
+         dt_max = 1e-2\nsteps = 4\ndegree = 2\nmesh = \"duct\"\nname = \"a\"\n",
+    )?;
+    let a1 = write_spec("a1.toml", &toy("smoke-a1", 60, 0.11))?;
+    let a2 = write_spec("a2.toml", &toy("smoke-a2", 4, 0.12))?;
+    let a3 = write_spec("a3.toml", &toy("smoke-a3", 4, 0.13))?;
+    let b1 = write_spec("b1.toml", &toy("smoke-b1", 4, 0.21))?;
+    let k1 = write_spec("k1.toml", &toy("smoke-k1", 60, 0.31))?;
+    let k2 = write_spec("k2.toml", &toy("smoke-k2", 4, 0.32))?;
+    let k3 = write_spec("k3.toml", &toy("smoke-k3", 4, 0.33))?;
+
+    start_daemon(daemons)?;
+
+    // ── 1. dedup: reformatted duplicate is a whole-case cache hit ───────
+    let first = client(&["submit", &socket, &dedup, "--tenant", "a"])?;
+    if !first.contains("\"cached\":false") {
+        return Err(format!("first submission unexpectedly cached: {first}"));
+    }
+    wait_until("dedup job completion", 120, &|| {
+        client(&["svc", &socket, "stats"]).is_ok_and(|s| s.contains("\"jobs_completed\":1"))
+    })?;
+    let steps_total = |s: &str| -> Option<String> {
+        s.split("\"steps_total\":")
+            .nth(1)
+            .and_then(|t| t.split([',', '}']).next())
+            .map(str::to_string)
+    };
+    let steps_after_first =
+        steps_total(&client(&["svc", &socket, "stats"])?).ok_or("stats missing steps_total")?;
+    let second = client(&["submit", &socket, &dedup_dup, "--tenant", "b"])?;
+    if !second.contains("\"cached\":true") || !second.contains("\"state\":\"completed\"") {
+        return Err(format!("duplicate was not served from the cache: {second}"));
+    }
+    let stats = client(&["svc", &socket, "stats"])?;
+    if !stats.contains("\"case_hits\":1") || !stats.contains("\"case_misses\":1") {
+        return Err(format!("case hit/miss counters wrong after dedup: {stats}"));
+    }
+    if steps_total(&stats).as_ref() != Some(&steps_after_first) {
+        return Err(format!("cache hit solved steps: {stats}"));
+    }
+
+    // ── 2. fairness: tenant b's job overtakes tenant a's backlog ────────
+    // a1 is long; a2/a3/b1 queue behind it on the single worker. DRR
+    // visits tenants round-robin, so b1 dispatches before a's second
+    // queued job (pure FIFO would run a2 and a3 first).
+    submit(&a1, "a")?;
+    submit(&a2, "a")?;
+    submit(&a3, "a")?;
+    let jb1 = submit(&b1, "b")?;
+    wait_until("fairness batch completion", 300, &|| {
+        client(&["svc", &socket, "stats"]).is_ok_and(|s| s.contains("\"jobs_completed\":5"))
+    })?;
+    let stats = client(&["svc", &socket, "stats"])?;
+    let order: Vec<String> = stats
+        .split("\"dispatch_order\":[")
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .ok_or("stats missing dispatch_order")?
+        .split(',')
+        .map(|e| e.trim_matches('"').to_string())
+        .collect();
+    // [a/dedup, a/a1, b/b1, a/a2, a/a3]
+    if order.get(2).map(String::as_str) != Some(&format!("b/{jb1}")[..]) {
+        return Err(format!(
+            "DRR did not let tenant b overtake a's backlog: {order:?}"
+        ));
+    }
+
+    // ── 3. durability: SIGKILL mid-queue, restart, nothing lost ─────────
+    let jk1 = submit(&k1, "a")?;
+    let jk2 = submit(&k2, "a")?;
+    let jk3 = submit(&k3, "b")?;
+    wait_until("k1 to start running", 60, &|| {
+        client(&["svc", &socket, "status"]).is_ok_and(|s| {
+            s.split(&format!("\"job\":\"{jk1}\""))
+                .nth(1)
+                .and_then(|rest| rest.split('}').next())
+                .is_some_and(|obj| obj.contains("\"state\":\"running\""))
+        })
+    })?;
+    let daemon = daemons.last_mut().expect("daemon running");
+    daemon.kill().map_err(|e| format!("kill daemon: {e}"))?;
+    let _ = daemon.wait();
+
+    start_daemon(daemons)?;
+    wait_until("recovered queue to drain", 300, &|| {
+        client(&["svc", &socket, "status"]).is_ok_and(|s| {
+            s.matches("\"state\":\"completed\"").count() == 8
+                && !s.contains("\"state\":\"queued\"")
+                && !s.contains("\"state\":\"running\"")
+                && !s.contains("\"state\":\"failed\"")
+        })
+    })?;
+    let status = client(&["svc", &socket, "status"])?;
+    for (jid, name) in [(&jk1, "k1"), (&jk2, "k2"), (&jk3, "k3")] {
+        if !status.contains(&format!("\"job\":\"{jid}\"")) {
+            return Err(format!(
+                "accepted job {name} ({jid}) lost across the kill: {status}"
+            ));
+        }
+    }
+
+    // ── clean shutdown ──────────────────────────────────────────────────
+    client(&["svc", &socket, "shutdown"])?;
+    let daemon = daemons.last_mut().expect("daemon running");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match daemon.try_wait() {
+            Ok(Some(s)) if s.success() => break,
+            Ok(Some(s)) => return Err(format!("daemon exited uncleanly after shutdown: {s}")),
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(None) => return Err("daemon ignored shutdown".to_string()),
+            Err(e) => return Err(format!("wait for daemon: {e}")),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 /// The full CI sequence, stopping at the first failure.
 fn ci() -> bool {
     step("fmt", cargo().args(["fmt", "--all", "--check"]))
@@ -454,6 +685,7 @@ fn ci() -> bool {
         && model()
         && runtime_smoke()
         && trace_smoke()
+        && serve_smoke()
         && miri(false)
         && tsan(false)
 }
