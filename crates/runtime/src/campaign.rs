@@ -33,7 +33,7 @@
 
 use crate::cache::SetupCache;
 use crate::json::Json;
-use crate::manifest::{canonical_fingerprint, CaseRecord, CaseStatus, Manifest};
+use crate::manifest::{canonical_fingerprint, text_fingerprint, CaseRecord, CaseStatus, Manifest};
 use crate::sched;
 use crate::spec::{CampaignSpec, CaseSpec, MeshKind};
 use crate::telemetry::{summary_table, Telemetry};
@@ -372,7 +372,11 @@ pub fn run_campaign_with(
 
     let manifest = if resume {
         let m = Manifest::load(out)?;
-        if m.spec_fingerprint != fingerprint {
+        // Manifests written before canonicalization landed pinned
+        // campaign identity to the raw-text fingerprint; accept either
+        // spelling so interrupted pre-canonicalization campaigns stay
+        // resumable.
+        if m.spec_fingerprint != fingerprint && m.spec_fingerprint != text_fingerprint(spec_text) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "campaign spec changed since this campaign was started; \
@@ -570,6 +574,31 @@ pressure_drop = 0.1
         let (spec, text) = toy_spec(&dir.join("out"));
         let cancel = CancelToken::default();
         run_campaign(&spec, &text, false, &cancel).unwrap();
+        let edited = text.replace("steps = 5", "steps = 7");
+        let spec2 = CampaignSpec::parse_str(&edited, "test.toml").unwrap();
+        let err = run_campaign(&spec2, &edited, true, &cancel).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_accepts_legacy_raw_text_fingerprint() {
+        // Manifests written before fingerprint canonicalization carry
+        // the raw-text fingerprint; resume must still accept them.
+        let dir =
+            std::env::temp_dir().join(format!("dgflow-campaign-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (spec, text) = toy_spec(&dir.join("out"));
+        let cancel = CancelToken::default();
+        run_campaign(&spec, &text, false, &cancel).unwrap();
+        // Rewrite the manifest as an old daemon would have written it.
+        assert_ne!(canonical_fingerprint(&text), text_fingerprint(&text));
+        let mut m = Manifest::load(&spec.output).unwrap();
+        m.spec_fingerprint = text_fingerprint(&text);
+        m.save(&spec.output).unwrap();
+        let outcome = run_campaign(&spec, &text, true, &cancel).unwrap();
+        assert!(outcome.manifest.all_completed());
+        // An actually-edited spec is still refused.
         let edited = text.replace("steps = 5", "steps = 7");
         let spec2 = CampaignSpec::parse_str(&edited, "test.toml").unwrap();
         let err = run_campaign(&spec2, &edited, true, &cancel).unwrap_err();

@@ -40,19 +40,26 @@ pub use fair::{FairScheduler, TenantSnapshot};
 pub use queue::{JobRecord, JobState, JobTable};
 pub use service::{client_request, serve, ServeConfig};
 
-/// The service's job identity: the FNV-1a fingerprint of the canonical
-/// form of the spec with `campaign.output` dropped — the service chooses
-/// output placement itself, so two clients submitting the same physics
-/// with different scratch paths still dedupe to one job. Falls back to
-/// the raw-text fingerprint for unparseable specs (which `submit`
-/// rejects anyway, so the fallback only keeps the function total).
-pub fn job_fingerprint(spec_text: &str) -> u64 {
-    match dgflow_runtime::toml::canonicalize_filtered(spec_text, |table, key| {
+/// The canonical job spelling of a spec: its canonical TOML form with
+/// `campaign.output` dropped — the service chooses output placement
+/// itself, so two clients submitting the same physics with different
+/// scratch paths still spell the same job. Unparseable text canonicalizes
+/// to itself (`submit` rejects it anyway, so the fallback only keeps the
+/// function total). Two specs are *the same job* iff their canonical job
+/// texts are equal; [`job_fingerprint`] is only the 64-bit index of that
+/// identity, and the service re-checks text equality on every dedup hit
+/// because FNV-1a is not collision-resistant.
+pub fn canonical_job_text(spec_text: &str) -> String {
+    dgflow_runtime::toml::canonicalize_filtered(spec_text, |table, key| {
         !(table == "campaign" && key == "output")
-    }) {
-        Ok(canon) => dgflow_runtime::text_fingerprint(&canon),
-        Err(_) => dgflow_runtime::text_fingerprint(spec_text),
-    }
+    })
+    .unwrap_or_else(|_| spec_text.to_string())
+}
+
+/// The service's job key: the FNV-1a fingerprint of
+/// [`canonical_job_text`].
+pub fn job_fingerprint(spec_text: &str) -> u64 {
+    dgflow_runtime::text_fingerprint(&canonical_job_text(spec_text))
 }
 
 #[cfg(test)]

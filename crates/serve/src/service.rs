@@ -37,7 +37,7 @@ use dgflow_runtime::json::{self, Json};
 use dgflow_runtime::{run_campaign_with, CampaignSpec, Manifest, SetupCache};
 use dgflow_trace::{Counter, Gauge, Histogram};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -167,8 +167,17 @@ struct Service {
     table: JobTable,
     sched: FairScheduler<u64>,
     cache: Arc<SetupCache>,
+    /// Serializes admission: the existing-record check, the table
+    /// upsert, and the scheduler enqueue of one `submit` must not
+    /// interleave with another's, or two concurrent submits of the same
+    /// spec both see "no record" and queue the same fingerprint twice.
+    admission: Mutex<()>,
     /// Cancel tokens of currently running jobs, by fingerprint.
     running: Mutex<HashMap<u64, CancelToken>>,
+    /// Cancels that raced dispatch: the job had left the queue but its
+    /// token was not yet registered. Collected by
+    /// [`Service::register_running`].
+    cancel_requested: Mutex<HashSet<u64>>,
     /// Dispatch order as `"tenant/<job id>"`, for fairness inspection via
     /// `stats` (bounded by the number of dispatches, i.e. jobs accepted).
     dispatch_log: Mutex<Vec<String>>,
@@ -219,7 +228,21 @@ impl Service {
         };
         let fp = crate::job_fingerprint(spec_text);
         let id = Json::Str(proto::job_id_str(fp));
+        let _admit = self.admission.lock();
         if let Some(existing) = self.table.get(fp) {
+            // The 64-bit FNV fingerprint is not collision-resistant:
+            // before treating the record as "the same job", prove the
+            // stored spec really is this spec, or a colliding submission
+            // would be served another tenant's cached result.
+            if crate::canonical_job_text(&existing.spec_text)
+                != crate::canonical_job_text(spec_text)
+            {
+                return proto::err_response(&format!(
+                    "fingerprint collision: job `{}` holds a different spec under the same \
+                     fingerprint; change the campaign name to re-key the submission",
+                    proto::job_id_str(fp)
+                ));
+            }
             match existing.state {
                 JobState::Completed => {
                     // Whole-case cache hit: identical physics already
@@ -263,6 +286,9 @@ impl Service {
             return proto::err_response(&format!("persist failed: {e}"));
         }
         self.metrics.jobs_submitted.inc();
+        // A re-admission must not inherit a cancel armed for a previous
+        // incarnation of this fingerprint.
+        self.cancel_requested.lock().remove(&fp);
         self.sched
             .submit(tenant, priority, self.cfg.max_in_flight, cost.max(1), fp);
         self.update_queue_gauges();
@@ -340,16 +366,47 @@ impl Service {
         let state = match rec.state {
             JobState::Queued => {
                 let removed = self.sched.remove_where(|&j| j == fp);
-                if let Err(e) = self.table.set_state(
-                    fp,
-                    JobState::Cancelled,
-                    Some("cancelled by client".into()),
-                ) {
-                    return proto::err_response(&format!("persist failed: {e}"));
+                if removed.is_empty() {
+                    // A worker popped the job between the table read and
+                    // the queue sweep. Cancel it the running way — trip
+                    // its token, or arm a pending cancel that
+                    // `register_running` collects — instead of stamping
+                    // `cancelled` over a record the worker is about to
+                    // mark `running` (and then run to completion).
+                    match self.running.lock().get(&fp) {
+                        Some(token) => token.cancel(),
+                        None => {
+                            self.cancel_requested.lock().insert(fp);
+                        }
+                    }
+                    // Unless the snapshot was simply stale and the job
+                    // already finished: report the terminal state and
+                    // disarm.
+                    if let Some(now) = self.table.get(fp) {
+                        if matches!(
+                            now.state,
+                            JobState::Completed | JobState::Failed | JobState::Cancelled
+                        ) {
+                            self.cancel_requested.lock().remove(&fp);
+                            return proto::ok_response([
+                                ("job", Json::Str(proto::job_id_str(fp))),
+                                ("state", Json::Str(now.state.as_str().to_string())),
+                            ]);
+                        }
+                    }
+                    "cancelling"
+                } else {
+                    if let Err(e) = self.table.set_state(
+                        fp,
+                        JobState::Cancelled,
+                        Some("cancelled by client".into()),
+                    ) {
+                        return proto::err_response(&format!("persist failed: {e}"));
+                    }
+                    self.metrics.jobs_cancelled.add(removed.len() as u64);
+                    self.update_queue_gauges();
+                    "cancelled"
                 }
-                self.metrics.jobs_cancelled.add(removed.len().max(1) as u64);
-                self.update_queue_gauges();
-                "cancelled"
             }
             JobState::Running => {
                 // Trip the job's token; the worker classifies and
@@ -434,13 +491,25 @@ impl Service {
 
     // ── worker side ─────────────────────────────────────────────────────
 
+    /// Create and register the cancel token of a just-dispatched job,
+    /// collecting any cancel that was armed while the job was between
+    /// the queue and the worker (see the `cancel` race note).
+    fn register_running(&self, fp: u64) -> CancelToken {
+        let token = CancelToken::default();
+        let mut running = self.running.lock();
+        if self.cancel_requested.lock().remove(&fp) {
+            token.cancel();
+        }
+        running.insert(fp, token.clone());
+        token
+    }
+
     fn worker_loop(&self) {
         while let Some((tenant, fp)) = self.sched.next() {
             self.dispatch_log
                 .lock()
                 .push(format!("{tenant}/{}", proto::job_id_str(fp)));
-            let token = CancelToken::default();
-            self.running.lock().insert(fp, token.clone());
+            let token = self.register_running(fp);
             let _ = self.table.set_state(fp, JobState::Running, None);
             self.update_queue_gauges();
             let Some(rec) = self.table.get(fp) else {
@@ -522,7 +591,9 @@ pub fn serve(cfg: ServeConfig, cancel: &CancelToken) -> io::Result<()> {
         table,
         sched: FairScheduler::new(),
         cache: Arc::new(SetupCache::new()),
+        admission: Mutex::new(()),
         running: Mutex::new(HashMap::new()),
+        cancel_requested: Mutex::new(HashSet::new()),
         dispatch_log: Mutex::new(Vec::new()),
         draining: AtomicBool::new(false),
         metrics: Metrics::new(),
@@ -584,7 +655,10 @@ pub fn serve(cfg: ServeConfig, cancel: &CancelToken) -> io::Result<()> {
     }
 
     // Drain: stop dispatch (queued jobs stay queued), interrupt running
-    // campaigns so they checkpoint, and wait the workers out.
+    // campaigns so they checkpoint, and wait the workers out. The flag
+    // also covers the signal path (`cancel` tripped): connection threads
+    // poll it, so idle clients cannot pin the daemon open.
+    shutdown.store(true, Ordering::SeqCst);
     println!("dgflow serve: draining");
     svc.draining.store(true, Ordering::SeqCst);
     svc.sched.halt();
@@ -604,26 +678,60 @@ pub fn serve(cfg: ServeConfig, cancel: &CancelToken) -> io::Result<()> {
 }
 
 fn handle_conn(svc: &Service, stream: UnixStream, shutdown: &AtomicBool) {
-    let Ok(read_half) = stream.try_clone() else {
+    // Poll the socket with a short read timeout and re-check the
+    // shutdown flag between polls: a client that holds an idle
+    // connection (never sends a line or EOF) must not block the
+    // graceful-drain join after a `shutdown` verb or SIGINT.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
     let mut writer = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (resp, stop) = match proto::parse_request(&line) {
-            Ok(req) => svc.handle(req),
-            Err(e) => (proto::err_response(&e), false),
+    // Byte-level line assembly (instead of `BufReader::lines`) so a
+    // timeout mid-line keeps the partial bytes for the next poll.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: while !shutdown.load(Ordering::SeqCst) {
+        let n = match read_half.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
         };
-        if writeln!(writer, "{resp}").is_err() {
-            break;
-        }
-        let _ = writer.flush();
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            break;
+        pending.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = pending.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&raw);
+            let line = text.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (resp, stop) = match proto::parse_request(line) {
+                Ok(req) => svc.handle(req),
+                Err(e) => (proto::err_response(&e), false),
+            };
+            if writeln!(writer, "{resp}").is_err() {
+                break 'conn;
+            }
+            let _ = writer.flush();
+            if stop {
+                shutdown.store(true, Ordering::SeqCst);
+                break 'conn;
+            }
         }
     }
 }
@@ -644,4 +752,118 @@ pub fn client_request(socket: &Path, req: &Json) -> io::Result<Json> {
             format!("bad response `{}`: {e}", line.trim()),
         )
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::JobRecord;
+
+    fn test_service(dir: &Path) -> Service {
+        std::fs::create_dir_all(dir).unwrap();
+        Service {
+            table: JobTable::load_or_new(dir).unwrap(),
+            sched: FairScheduler::new(),
+            cache: Arc::new(SetupCache::new()),
+            admission: Mutex::new(()),
+            running: Mutex::new(HashMap::new()),
+            cancel_requested: Mutex::new(HashSet::new()),
+            dispatch_log: Mutex::new(Vec::new()),
+            draining: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            telemetry: TelemetryAggregator::new(),
+            cfg: ServeConfig::new(dir),
+        }
+    }
+
+    fn toy_spec() -> &'static str {
+        "[campaign]\nname = \"svc-toy\"\n\n\
+         [[case]]\nname = \"c\"\nmesh = \"duct\"\nsteps = 3\n"
+    }
+
+    #[test]
+    fn concurrent_submits_of_same_spec_queue_once() {
+        let dir =
+            std::env::temp_dir().join(format!("dgflow-svc-submit-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Arc::new(test_service(&dir));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                svc.submit(toy_spec(), &format!("tenant-{i}"), 1)
+            }));
+        }
+        let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &responses {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r}");
+        }
+        // Exactly one admission; the other seven joined it.
+        let dedups = responses
+            .iter()
+            .filter(|r| r.get("dedup") == Some(&Json::Bool(true)))
+            .count();
+        assert_eq!(dedups, 7, "{responses:?}");
+        assert_eq!(svc.sched.queued_len(), 1, "fingerprint queued twice");
+        assert_eq!(svc.table.all().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_fingerprint_with_different_spec_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("dgflow-svc-collision-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = test_service(&dir);
+        let fp = crate::job_fingerprint(toy_spec());
+        // Forge what an FNV collision would leave behind: a *different*
+        // completed spec stored under this spec's fingerprint.
+        svc.table
+            .upsert(JobRecord {
+                fingerprint: fp,
+                tenant: "victim".to_string(),
+                priority: 1,
+                name: "other".to_string(),
+                cost: 9,
+                spec_text: "[campaign]\nname = \"other\"\n\n\
+                            [[case]]\nname = \"c\"\nmesh = \"duct\"\nsteps = 9\n"
+                    .to_string(),
+                state: JobState::Completed,
+                error: None,
+            })
+            .unwrap();
+        let resp = svc.submit(toy_spec(), "mallory", 1);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+        let err = resp.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(err.contains("collision"), "{resp}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancel_racing_dispatch_arms_the_token_instead_of_stamping_cancelled() {
+        let dir =
+            std::env::temp_dir().join(format!("dgflow-svc-cancel-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = test_service(&dir);
+        let resp = svc.submit(toy_spec(), "alice", 1);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        let fp = crate::job_fingerprint(toy_spec());
+        // Play the worker up to the race window: the job has left the
+        // queue but its token is not yet registered.
+        let (_tenant, popped) = svc.sched.next().expect("queued job");
+        assert_eq!(popped, fp);
+        let resp = svc.cancel(fp);
+        assert_eq!(
+            resp.get("state").and_then(Json::as_str),
+            Some("cancelling"),
+            "{resp}"
+        );
+        // The record was not stamped cancelled under the worker...
+        assert_eq!(svc.table.get(fp).unwrap().state, JobState::Queued);
+        // ...and the worker's registration collects the armed cancel, so
+        // the campaign stops at its first step boundary.
+        let token = svc.register_running(fp);
+        assert!(token.is_cancelled(), "armed cancel was lost");
+        assert!(svc.cancel_requested.lock().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

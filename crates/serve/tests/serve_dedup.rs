@@ -98,6 +98,46 @@ fn wait_for_state(socket: &Path, job: &str, want: &str) {
 }
 
 #[test]
+fn shutdown_is_not_blocked_by_an_idle_connection() {
+    let dir = std::env::temp_dir().join(format!("dgflow-serve-idle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig::new(&dir);
+    let socket: PathBuf = cfg.socket.clone();
+    let cancel = CancelToken::default();
+    let daemon = std::thread::spawn(move || serve(cfg, &cancel));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // An idle client: connects, never sends a byte, never closes. The
+    // daemon's drain must not wait on it.
+    let idle = std::os::unix::net::UnixStream::connect(&socket).expect("idle connect");
+    let bye = client_request(
+        &socket,
+        &Json::obj([("verb", Json::Str("shutdown".to_string()))]),
+    )
+    .expect("shutdown request");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !daemon.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon hung on the idle connection after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    drop(idle);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn duplicate_submission_is_a_cache_hit_that_solves_zero_steps() {
     let dir = std::env::temp_dir().join(format!("dgflow-serve-dedup-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
