@@ -308,7 +308,7 @@ impl Controller {
 
     /// Pick the next thread to run. `None` iff no thread is runnable.
     fn choose(&self, st: &mut ControlState, current: Option<usize>) -> Option<usize> {
-        let runnable: Vec<usize> = st
+        let mut runnable: Vec<usize> = st
             .threads
             .iter()
             .enumerate()
@@ -317,6 +317,17 @@ impl Controller {
             .collect();
         if runnable.is_empty() {
             return None;
+        }
+        // Canonicalize: the baseline choice (keep the current thread
+        // running) must sit at index 0, because `next_prefix` enumerates
+        // alternatives as `chosen + 1 ..` — with the baseline anywhere
+        // else, lower-indexed alternatives would never be explored and
+        // the DFS would claim exhaustion while systematically missing
+        // schedules that preempt toward a lower thread id.
+        if let Some(c) = current {
+            if let Some(pos) = runnable.iter().position(|&t| t == c) {
+                runnable.swap(0, pos);
+            }
         }
         if st.aborting || runnable.len() == 1 {
             // teardown runs threads in a fixed order; singleton choices are

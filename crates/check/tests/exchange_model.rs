@@ -1,0 +1,132 @@
+//! Model checks of the *real* nonblocking-exchange substrate
+//! (`dgflow_comm::nb::{MsgQueue, ExchangeState}`), compiled through the
+//! shim seam under `--cfg dgcheck_model`: every bounded-preemption
+//! interleaving of the production completion-queue handshake — the socket
+//! reader thread pushing finished messages, `finish_exchange` parked in
+//! `pop` — is explored, not a re-implementation. The deliberately-broken
+//! twins of these properties live in `exchange_twins.rs` and run in
+//! every build.
+//!
+//! Keep models tiny (2–3 threads, 1–2 messages): the bug classes this
+//! seam can host — a completion pushed without a wakeup, a close racing a
+//! parked pop, a message lost between `try_pop` and `pop` — all manifest
+//! at minimal size.
+#![cfg(dgcheck_model)]
+
+use std::sync::Arc;
+
+use dgflow_check::model::Checker;
+use dgflow_check::thread;
+use dgflow_comm::nb::{ExchangeState, MsgQueue};
+
+fn checker() -> Checker {
+    Checker::new()
+}
+
+/// Property 1: no lost completion wakeup. A consumer parked in `pop`
+/// always receives the message a concurrent producer pushes — the
+/// push-then-notify pair can never slip into the check-then-wait window.
+/// The `join` is the no-deadlock assertion.
+#[test]
+fn parked_pop_always_receives_a_concurrent_push() {
+    let report = checker().check(|| {
+        let q = Arc::new(MsgQueue::new());
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.pop().expect("queue was not closed"));
+        q.push(42, vec![1.0, 2.0]);
+        let (tag, data) = consumer.join().unwrap();
+        assert_eq!(tag, 42);
+        assert_eq!(data, [1.0, 2.0]);
+    });
+    eprintln!("push/pop wakeup model: {report:?}");
+    assert!(
+        report.exhausted,
+        "the push/pop handshake must be exhaustively explored"
+    );
+}
+
+/// Property 2: close wakes a parked consumer. When the reader thread
+/// dies (peer disconnect) while `finish_exchange` is blocked in `pop`,
+/// the close notification cannot be lost — every schedule ends with the
+/// consumer observing either the in-flight message or the close reason,
+/// never a hang.
+#[test]
+fn close_always_wakes_a_parked_pop() {
+    let report = checker().check(|| {
+        let q = Arc::new(MsgQueue::new());
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.pop());
+        let q3 = q.clone();
+        let producer = thread::spawn(move || q3.push(7, vec![]));
+        q.close("peer gone");
+        producer.join().unwrap();
+        match consumer.join().unwrap() {
+            // push won the race to the queue before the consumer's check
+            Ok((tag, _)) => assert_eq!(tag, 7),
+            Err(reason) => assert_eq!(reason, "peer gone"),
+        }
+        // after close + drain, the queue reports the reason forever
+        loop {
+            match q.try_pop() {
+                Ok(Some((tag, _))) => assert_eq!(tag, 7),
+                Ok(None) => unreachable!("closed queue cannot report empty-but-open"),
+                Err(reason) => {
+                    assert_eq!(reason, "peer gone");
+                    break;
+                }
+            }
+        }
+    });
+    eprintln!("close/pop model: {report:?}");
+    assert!(report.exhausted);
+}
+
+/// Property 3: per-pair FIFO survives every interleaving. One producer
+/// pushing `1` then `2` against a consumer popping twice: the consumer
+/// must see push order regardless of where the scheduler preempts —
+/// this is the ordering guarantee the deterministic tag schedules of
+/// `GhostPattern` rest on.
+#[test]
+fn pop_order_matches_push_order_on_every_schedule() {
+    let report = checker().check(|| {
+        let q = Arc::new(MsgQueue::new());
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            q2.push(1, vec![]);
+            q2.push(2, vec![]);
+        });
+        let a = q.pop().unwrap().0;
+        let b = q.pop().unwrap().0;
+        producer.join().unwrap();
+        assert_eq!((a, b), (1, 2), "FIFO order violated");
+    });
+    eprintln!("FIFO model: {report:?}");
+    assert!(report.exhausted);
+}
+
+/// Property 4: the full split-exchange handshake. `start` posts the
+/// epoch, the reader thread delivers the completion, `finish` drains it:
+/// on every interleaving the epoch ends `Finished` with the payload in
+/// hand, and exactly one message is consumed.
+#[test]
+fn split_exchange_epoch_completes_on_every_schedule() {
+    let report = checker().check(|| {
+        let q = Arc::new(MsgQueue::new());
+        let reader = {
+            let q = q.clone();
+            thread::spawn(move || q.push(0xD06, vec![3.5]))
+        };
+        let mut epoch = ExchangeState::default();
+        epoch.start();
+        // overlap window: interior compute would run here
+        let (tag, data) = q.pop().expect("reader delivers the halo");
+        epoch.finish();
+        reader.join().unwrap();
+        assert_eq!(tag, 0xD06);
+        assert_eq!(data, [3.5]);
+        assert!(epoch.is_finished());
+        assert!(matches!(q.try_pop(), Ok(None)), "exactly one message");
+    });
+    eprintln!("split-exchange model: {report:?}");
+    assert!(report.exhausted);
+}

@@ -1,0 +1,177 @@
+//! Deliberately-broken twins of the nonblocking-exchange handshake
+//! (`dgflow_comm::nb::MsgQueue`, checked for real in
+//! `exchange_model.rs`), written directly against the model primitives
+//! so they run in every build. Each twin seeds the classic
+//! completion-queue bug — a push that forgets to wake the parked
+//! consumer, a close that flips the flag without notifying, a
+//! check-then-wait window that drops the lock — and its `should_panic`
+//! test proves the checker finds that bug class; the paired correct
+//! version proves it does not cry wolf. The epoch-misuse twins exercise
+//! the real `ExchangeState` guards.
+
+use std::sync::Arc;
+
+use dgflow_check::model::sync::{Condvar, Mutex};
+use dgflow_check::model::thread;
+use dgflow_check::model::Checker;
+use dgflow_comm::nb::ExchangeState;
+
+/// Fewer random fallbacks keep the `should_panic` tests fast; every
+/// seeded bug here is found well inside the DFS phase anyway.
+fn checker() -> Checker {
+    Checker::new().max_schedules(20_000).random_schedules(50)
+}
+
+// ── twin 1: push must notify the parked consumer ────────────────────────
+
+/// `MsgQueue::push`/`pop` in miniature: the consumer parks on the
+/// condvar until a completion arrives; the reader thread pushes and (in
+/// the correct version) notifies.
+fn push_wakeup(notify: bool) {
+    let q = Arc::new((Mutex::new(Vec::<u64>::new()), Condvar::new()));
+    let q2 = q.clone();
+    let consumer = thread::spawn(move || {
+        let (lock, cv) = &*q2;
+        let mut msgs = lock.lock();
+        while msgs.is_empty() {
+            cv.wait(&mut msgs);
+        }
+        msgs.pop().expect("woken with a message")
+    });
+    {
+        let (lock, cv) = &*q;
+        lock.lock().push(42);
+        if notify {
+            cv.notify_one();
+        }
+    }
+    assert_eq!(consumer.join().unwrap(), 42);
+}
+
+#[test]
+fn push_wakes_the_parked_consumer() {
+    let report = checker().check(|| push_wakeup(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn push_without_notify_twin_is_caught() {
+    checker().check(|| push_wakeup(false));
+}
+
+// ── twin 2: close must notify_all, not just set the flag ────────────────
+
+/// `MsgQueue::close` in miniature: the consumer pops until
+/// `closed && empty`. A close that sets the flag without waking the
+/// parked consumer strands it forever.
+fn close_wakeup(notify_on_close: bool) {
+    let q = Arc::new((Mutex::new((Vec::<u64>::new(), false)), Condvar::new()));
+    let q2 = q.clone();
+    let consumer = thread::spawn(move || {
+        let (lock, cv) = &*q2;
+        let mut st = lock.lock();
+        loop {
+            if let Some(m) = st.0.pop() {
+                return Some(m);
+            }
+            if st.1 {
+                return None;
+            }
+            cv.wait(&mut st);
+        }
+    });
+    {
+        let (lock, cv) = &*q;
+        lock.lock().1 = true;
+        if notify_on_close {
+            cv.notify_all();
+        }
+    }
+    assert_eq!(consumer.join().unwrap(), None);
+}
+
+#[test]
+fn close_wakes_the_parked_consumer() {
+    let report = checker().check(|| close_wakeup(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn close_without_notify_twin_is_caught() {
+    checker().check(|| close_wakeup(false));
+}
+
+// ── twin 3: the empty-check must stay atomic with the wait ──────────────
+
+/// The check-then-wait race: a consumer that checks emptiness, *releases
+/// the lock*, and only then parks gives the producer's notify a window
+/// to fire into thin air. The real `pop` holds the lock across the check
+/// and the wait (the condvar re-acquires atomically).
+fn check_then_wait(atomic: bool) {
+    let q = Arc::new((Mutex::new(Vec::<u64>::new()), Condvar::new()));
+    let q2 = q.clone();
+    let consumer = thread::spawn(move || {
+        let (lock, cv) = &*q2;
+        if atomic {
+            let mut msgs = lock.lock();
+            while msgs.is_empty() {
+                cv.wait(&mut msgs);
+            }
+            msgs.pop().expect("woken with a message")
+        } else {
+            loop {
+                // BUG: the lock is dropped between the check and the wait
+                if let Some(m) = lock.lock().pop() {
+                    return m;
+                }
+                let mut guard = lock.lock();
+                cv.wait(&mut guard);
+            }
+        }
+    });
+    {
+        let (lock, cv) = &*q;
+        lock.lock().push(9);
+        cv.notify_one();
+    }
+    assert_eq!(consumer.join().unwrap(), 9);
+}
+
+#[test]
+fn atomic_check_and_wait_never_misses_the_wakeup() {
+    let report = checker().check(|| check_then_wait(true));
+    assert!(report.exhausted);
+}
+
+#[test]
+#[should_panic(expected = "deadlock detected")]
+fn dropped_lock_between_check_and_wait_twin_is_caught() {
+    checker().check(|| check_then_wait(false));
+}
+
+// ── epoch misuse: the real ExchangeState guards ─────────────────────────
+
+#[test]
+fn epoch_happy_path_start_then_finish() {
+    let mut e = ExchangeState::default();
+    e.start();
+    assert!(e.is_started());
+    e.finish();
+    assert!(e.is_finished());
+}
+
+#[test]
+#[should_panic(expected = "finished before it was started")]
+fn epoch_finish_before_start_is_caught() {
+    ExchangeState::default().finish();
+}
+
+#[test]
+#[should_panic(expected = "started twice")]
+fn epoch_double_start_is_caught() {
+    let mut e = ExchangeState::default();
+    e.start();
+    e.start();
+}

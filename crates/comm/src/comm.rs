@@ -25,6 +25,26 @@ pub trait Communicator: Send + Sync {
     /// ordering makes tags a pure consistency check, as in MPI with a
     /// deterministic communication schedule).
     fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64>;
+    /// Post the send side of a neighbor-exchange epoch and return
+    /// immediately: the compute/communication overlap window opens here.
+    /// Eager buffered like `send_f64` — completion never depends on the
+    /// peers posting receives. Identical semantics on every backend
+    /// (in-process channels for [`ThreadComm`], socket + reader-thread
+    /// progression for `ProcessComm`).
+    fn start_exchange(&self, sends: Vec<(usize, u64, Vec<f64>)>) {
+        for (dest, tag, data) in sends {
+            self.send_f64(dest, tag, data);
+        }
+    }
+    /// Complete the receive side of an epoch opened by
+    /// [`Communicator::start_exchange`]: blocks until every listed
+    /// message has arrived, returning the buffers in `recvs` order.
+    fn finish_exchange(&self, recvs: &[(usize, u64)]) -> Vec<Vec<f64>> {
+        recvs
+            .iter()
+            .map(|&(src, tag)| self.recv_f64(src, tag))
+            .collect()
+    }
     /// Global sum.
     fn allreduce_sum(&self, x: f64) -> f64;
     /// Global max.
@@ -44,11 +64,21 @@ impl Communicator for SelfComm {
     fn size(&self) -> usize {
         1
     }
-    fn send_f64(&self, _dest: usize, _tag: u64, _data: Vec<f64>) {
-        panic!("SelfComm cannot send: no other ranks exist");
+    fn send_f64(&self, dest: usize, tag: u64, _data: Vec<f64>) {
+        panic!(
+            "SelfComm cannot send (to rank {dest}, tag {tag:#x}): no other ranks exist. \
+             This usually means a neighbor-exchange loop ran without a `comm.size() == 1` \
+             guard — skip the exchange on a single rank, or check that the GhostPattern \
+             is empty before exchanging"
+        );
     }
-    fn recv_f64(&self, _src: usize, _tag: u64) -> Vec<f64> {
-        panic!("SelfComm cannot receive: no other ranks exist");
+    fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64> {
+        panic!(
+            "SelfComm cannot receive (from rank {src}, tag {tag:#x}): no other ranks exist. \
+             This usually means a neighbor-exchange loop ran without a `comm.size() == 1` \
+             guard — skip the exchange on a single rank, or check that the GhostPattern \
+             is empty before exchanging"
+        );
     }
     fn allreduce_sum(&self, x: f64) -> f64 {
         x
@@ -147,10 +177,21 @@ impl Communicator for ThreadComm {
         let (t, data) = self.receivers[src]
             .recv()
             .expect("source rank dropped its communicator");
-        assert_eq!(
-            t, tag,
-            "tag mismatch receiving from rank {src}: got {t}, expected {tag}"
-        );
+        if t != tag {
+            // drain-count the rest of the queue: we are panicking anyway,
+            // and the depth tells apart "sender ran ahead" (deep queue)
+            // from "schedules diverged" (shallow)
+            let mut depth = 0usize;
+            while self.receivers[src].try_recv().is_some() {
+                depth += 1;
+            }
+            panic!(
+                "rank {} receiving from rank {src}: tag mismatch: expected {tag:#x}, \
+                 got {t:#x} ({depth} more message(s) queued from that rank) — the \
+                 communication schedules of the two ranks have diverged",
+                self.rank
+            );
+        }
         data
     }
     fn allreduce_sum(&self, x: f64) -> f64 {

@@ -6,8 +6,24 @@
 //! entries after the owned block. [`GhostPattern::update`] performs the
 //! nearest-neighbor exchange with non-blocking sends, mirroring the
 //! overlap-friendly communication structure of Sec. 3.2.
+//!
+//! The exchange is split into `start_*`/`finish_*` halves so callers can
+//! overlap interior compute with the halo transfer (the paper's scaling
+//! lever): [`GhostPattern::start_update`] posts the eager sends and
+//! returns a [`HaloUpdate`] epoch guard; the caller sweeps cells that
+//! touch no ghost data; [`GhostPattern::finish_update`] then blocks only
+//! on whatever has not yet arrived. The guards are backed by the
+//! [`crate::nb::ExchangeState`] state machine, so misuse (finish before
+//! start, double finish, dropping an in-flight epoch) panics with a
+//! diagnostic instead of silently corrupting ghost values.
 
 use crate::comm::Communicator;
+use crate::nb::ExchangeState;
+
+/// Tag of the owner→ghost direction ([`GhostPattern::update`]).
+const TAG_UPDATE: u64 = 0xD06;
+/// Tag of the ghost→owner direction ([`GhostPattern::compress_add`]).
+const TAG_COMPRESS: u64 = 0xADD;
 
 /// Communication pattern of one partitioned vector layout.
 #[derive(Clone, Debug, Default)]
@@ -28,16 +44,55 @@ impl GhostPattern {
     /// Exchange ghost values: after return, `v[n_owned..]` holds the ghost
     /// values in `recv` order.
     pub fn update(&self, comm: &dyn Communicator, v: &mut [f64], n_owned: usize) {
+        let epoch = self.start_update(comm, v, n_owned);
+        self.finish_update(comm, v, n_owned, epoch);
+    }
+
+    /// Post the send half of a ghost update (eager, returns immediately)
+    /// and open the epoch. Interior compute — anything not reading
+    /// `v[n_owned..]` — may run before the matching
+    /// [`GhostPattern::finish_update`].
+    #[must_use = "an exchange epoch must be finished; dropping it mid-flight panics"]
+    pub fn start_update(&self, comm: &dyn Communicator, v: &[f64], n_owned: usize) -> HaloUpdate {
         debug_assert_eq!(v.len(), n_owned + self.n_ghosts());
-        // eager buffered sends first (non-blocking), then receives — no
-        // deadlock regardless of neighbor ordering
-        for (dest, idx) in &self.send {
-            let buf: Vec<f64> = idx.iter().map(|&i| v[i]).collect();
-            comm.send_f64(*dest, 0xD06, buf);
-        }
+        let _sp = dgflow_trace::span("comm", "comm.send");
+        let mut state = ExchangeState::default();
+        state.start();
+        let sends = self
+            .send
+            .iter()
+            .map(|(dest, idx)| {
+                (
+                    *dest,
+                    TAG_UPDATE,
+                    idx.iter().map(|&i| v[i]).collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        comm.start_exchange(sends);
+        HaloUpdate { state }
+    }
+
+    /// Block until every ghost message of the epoch has arrived and fill
+    /// `v[n_owned..]` in `recv` order.
+    pub fn finish_update(
+        &self,
+        comm: &dyn Communicator,
+        v: &mut [f64],
+        n_owned: usize,
+        mut epoch: HaloUpdate,
+    ) {
+        debug_assert_eq!(v.len(), n_owned + self.n_ghosts());
+        let _sp = dgflow_trace::span("comm", "comm.recv_wait");
+        epoch.state.finish();
+        let recvs: Vec<(usize, u64)> = self
+            .recv
+            .iter()
+            .map(|&(src, _)| (src, TAG_UPDATE))
+            .collect();
+        let bufs = comm.finish_exchange(&recvs);
         let mut offset = n_owned;
-        for &(src, n) in &self.recv {
-            let buf = comm.recv_f64(src, 0xD06);
+        for (&(src, n), buf) in self.recv.iter().zip(bufs) {
             assert_eq!(buf.len(), n, "ghost message length mismatch from {src}");
             v[offset..offset + n].copy_from_slice(&buf);
             offset += n;
@@ -48,20 +103,106 @@ impl GhostPattern {
     /// entries accumulated locally are sent back and *added* to the owners'
     /// values, then the ghost block is zeroed.
     pub fn compress_add(&self, comm: &dyn Communicator, v: &mut [f64], n_owned: usize) {
+        let epoch = self.start_compress_add(comm, v, n_owned);
+        self.finish_compress_add(comm, v, n_owned, epoch);
+    }
+
+    /// Post the send half of a compress: ship the ghost segments back to
+    /// their owners (eager) and zero them locally. Compute not touching
+    /// the *owned* boundary entries may overlap before
+    /// [`GhostPattern::finish_compress_add`].
+    #[must_use = "an exchange epoch must be finished; dropping it mid-flight panics"]
+    pub fn start_compress_add(
+        &self,
+        comm: &dyn Communicator,
+        v: &mut [f64],
+        n_owned: usize,
+    ) -> PendingCompress {
+        debug_assert_eq!(v.len(), n_owned + self.n_ghosts());
+        let _sp = dgflow_trace::span("comm", "comm.send");
+        let mut state = ExchangeState::default();
+        state.start();
         let mut offset = n_owned;
+        let mut sends = Vec::with_capacity(self.recv.len());
         for &(dest, n) in &self.recv {
-            comm.send_f64(dest, 0xADD, v[offset..offset + n].to_vec());
+            sends.push((dest, TAG_COMPRESS, v[offset..offset + n].to_vec()));
             for g in &mut v[offset..offset + n] {
                 *g = 0.0;
             }
             offset += n;
         }
-        for (src, idx) in &self.send {
-            let buf = comm.recv_f64(*src, 0xADD);
-            assert_eq!(buf.len(), idx.len());
+        comm.start_exchange(sends);
+        PendingCompress { state }
+    }
+
+    /// Receive the peers' ghost contributions and add them into the owned
+    /// entries listed in `send`.
+    pub fn finish_compress_add(
+        &self,
+        comm: &dyn Communicator,
+        v: &mut [f64],
+        n_owned: usize,
+        mut epoch: PendingCompress,
+    ) {
+        debug_assert_eq!(v.len(), n_owned + self.n_ghosts());
+        let _sp = dgflow_trace::span("comm", "comm.recv_wait");
+        epoch.state.finish();
+        let recvs: Vec<(usize, u64)> = self
+            .send
+            .iter()
+            .map(|&(src, _)| (src, TAG_COMPRESS))
+            .collect();
+        let bufs = comm.finish_exchange(&recvs);
+        for ((src, idx), buf) in self.send.iter().zip(bufs) {
+            assert_eq!(
+                buf.len(),
+                idx.len(),
+                "compress message length mismatch from {src}"
+            );
             for (k, &i) in idx.iter().enumerate() {
                 v[i] += buf[k];
             }
+        }
+    }
+}
+
+/// Epoch guard of an in-flight ghost update (owner→ghost direction).
+/// Returned by [`GhostPattern::start_update`]; must be handed to
+/// [`GhostPattern::finish_update`]. Dropping it with the epoch still open
+/// panics — an abandoned exchange leaves ghost values stale and the
+/// peers' matching receives would consume the wrong message next epoch.
+#[derive(Debug)]
+pub struct HaloUpdate {
+    state: ExchangeState,
+}
+
+/// Epoch guard of an in-flight compress (ghost→owner direction); see
+/// [`HaloUpdate`].
+#[derive(Debug)]
+pub struct PendingCompress {
+    state: ExchangeState,
+}
+
+impl Drop for HaloUpdate {
+    fn drop(&mut self) {
+        if self.state.is_started() && !std::thread::panicking() {
+            panic!(
+                "a started ghost-update epoch was dropped without finish_update — \
+                 every start_update must be matched by exactly one finish_update \
+                 on the same pattern"
+            );
+        }
+    }
+}
+
+impl Drop for PendingCompress {
+    fn drop(&mut self) {
+        if self.state.is_started() && !std::thread::panicking() {
+            panic!(
+                "a started compress epoch was dropped without finish_compress_add — \
+                 every start_compress_add must be matched by exactly one \
+                 finish_compress_add on the same pattern"
+            );
         }
     }
 }
@@ -243,6 +384,135 @@ mod tests {
                     serial[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn split_update_matches_blocking_update() {
+        let n_local = 6;
+        ThreadComm::run(4, |comm| {
+            let pat = chain_pattern(comm.rank(), comm.size(), n_local);
+            let fill = |v: &mut [f64]| {
+                for (i, x) in v[..n_local].iter_mut().enumerate() {
+                    *x = (comm.rank() * 100 + i) as f64;
+                }
+            };
+            let mut blocking = vec![0.0; n_local + pat.n_ghosts()];
+            fill(&mut blocking);
+            pat.update(comm, &mut blocking, n_local);
+            let mut split = vec![0.0; n_local + pat.n_ghosts()];
+            fill(&mut split);
+            let epoch = pat.start_update(comm, &split, n_local);
+            // "interior compute" window: touch only owned entries
+            let checksum: f64 = split[..n_local].iter().sum();
+            pat.finish_update(comm, &mut split, n_local, epoch);
+            assert!(checksum.is_finite());
+            assert_eq!(split, blocking);
+        });
+    }
+
+    #[test]
+    fn split_compress_matches_blocking_compress() {
+        let n_local = 5;
+        let run = |split: bool| {
+            ThreadComm::run(3, move |comm| {
+                let pat = chain_pattern(comm.rank(), comm.size(), n_local);
+                let mut v = vec![0.0; n_local + pat.n_ghosts()];
+                for (g, x) in v[n_local..].iter_mut().enumerate() {
+                    *x = (comm.rank() * 10 + g + 1) as f64;
+                }
+                if split {
+                    let epoch = pat.start_compress_add(comm, &mut v, n_local);
+                    pat.finish_compress_add(comm, &mut v, n_local, epoch);
+                } else {
+                    pat.compress_add(comm, &mut v, n_local);
+                }
+                v
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped without finish_update")]
+    fn dropping_started_epoch_panics() {
+        ThreadComm::run(2, |comm| {
+            let pat = chain_pattern(comm.rank(), comm.size(), 3);
+            let v = vec![0.0; 3 + pat.n_ghosts()];
+            let epoch = pat.start_update(comm, &v, 3);
+            // receive so the peer's finish doesn't dangle, then abandon
+            // the epoch without finishing it
+            drop(epoch);
+        });
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Random partitions of a global vector round-trip
+        /// `update` + `compress_add` through the split start/finish path:
+        /// after an update every ghost mirrors its owner, and a compress
+        /// of ghost increments accumulates exactly once into each owner.
+        #[test]
+        fn random_partitions_round_trip_split_exchange(
+            size in 2usize..5,
+            n_local in 2usize..10,
+            seed in any::<u64>(),
+        ) {
+            // every rank ghosts one pseudo-random owned entry of every
+            // other rank (deterministic from the shared seed, so the
+            // send/recv patterns of all ranks agree)
+            let pick = |owner: usize, wanter: usize| -> usize {
+                let h = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((owner * 31 + wanter * 7) as u64);
+                (h >> 33) as usize % n_local
+            };
+            let results = ThreadComm::run(size, |comm| {
+                let me = comm.rank();
+                let mut send = Vec::new();
+                let mut recv = Vec::new();
+                for other in 0..size {
+                    if other == me {
+                        continue;
+                    }
+                    send.push((other, vec![pick(me, other)]));
+                    recv.push((other, 1));
+                }
+                let pat = GhostPattern { send, recv };
+                let nw = n_local + pat.n_ghosts();
+                let mut v = vec![0.0; nw];
+                for i in 0..n_local {
+                    v[i] = (me * n_local + i) as f64;
+                }
+                let epoch = pat.start_update(comm, &v, n_local);
+                pat.finish_update(comm, &mut v, n_local, epoch);
+                // each ghost must mirror the picked entry of its owner
+                let mut ok = true;
+                for (g, &(owner, _)) in pat.recv.iter().enumerate() {
+                    let expect = (owner * n_local + pick(owner, me)) as f64;
+                    ok &= v[n_local + g] == expect;
+                }
+                // now add 1 to every ghost and compress it back
+                for g in v[n_local..].iter_mut() {
+                    *g += 1.0;
+                }
+                let epoch = pat.start_compress_add(comm, &mut v, n_local);
+                pat.finish_compress_add(comm, &mut v, n_local, epoch);
+                ok &= v[n_local..].iter().all(|&g| g == 0.0);
+                // each owned entry gained (old value + 1) per wanter
+                for i in 0..n_local {
+                    let base = (me * n_local + i) as f64;
+                    let wanters = (0..size)
+                        .filter(|&w| w != me && pick(me, w) == i)
+                        .count() as f64;
+                    ok &= v[i] == base + wanters * (base + 1.0);
+                }
+                ok
+            });
+            prop_assert!(results.iter().all(|&ok| ok), "round trip mismatch");
         }
     }
 }

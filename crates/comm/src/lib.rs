@@ -4,8 +4,12 @@
 //!
 //! * [`comm`] — a [`Communicator`] trait with in-process SPMD ranks
 //!   ([`ThreadComm`]) over crossbeam channels: point-to-point buffers with
-//!   tag checking, reductions, barriers. [`dist`] builds partitioned
-//!   vectors with nearest-neighbor ghost exchange on top.
+//!   tag checking, reductions, barriers. [`proc`] adds genuine OS-process
+//!   ranks over Unix-domain sockets ([`ProcessComm`]), launched as an SPMD
+//!   group by [`spmd`]; [`nb`] holds the nonblocking-exchange substrate
+//!   (ordered inboxes, epoch state machine) shared by both. [`dist`]
+//!   builds partitioned vectors with nearest-neighbor ghost exchange —
+//!   blocking or split start/finish for compute/comm overlap — on top.
 //! * [`par`] — a persistent-thread `parallel_for` used by the matrix-free
 //!   cell/face loops within one address space.
 //!
@@ -16,11 +20,16 @@
 pub mod cancel;
 pub mod comm;
 pub mod dist;
+pub mod nb;
 pub mod par;
+pub mod proc;
 #[cfg(feature = "check-disjoint")]
 pub mod race;
+pub mod spmd;
 
 pub use cancel::CancelToken;
 pub use comm::{Communicator, SelfComm, ThreadComm};
 pub use dist::{dist_dot, dist_norm, GhostPattern};
 pub use par::{parallel_for_chunks, ThreadPool};
+pub use proc::ProcessComm;
+pub use spmd::SpmdCommand;

@@ -1,0 +1,518 @@
+//! `ProcessComm` — the real multi-process backend of [`Communicator`]:
+//! genuine OS-process ranks talking over Unix-domain sockets.
+//!
+//! Topology: a full peer-to-peer mesh. Every rank binds a listening
+//! socket `rank<i>.sock` inside the rendezvous directory, connects to
+//! every lower rank (retrying until that rank has bound), and accepts one
+//! connection from every higher rank; a one-shot hello frame carrying the
+//! connector's rank identifies each accepted stream. After setup each
+//! ordered pair of ranks shares one duplex stream.
+//!
+//! Wire format (all little-endian), one frame per message:
+//!
+//! ```text
+//! [class: u8] [tag: u64] [count: u64] [payload: count × f64]
+//! ```
+//!
+//! `class` separates the point-to-point plane (0, the solver's ghost
+//! exchange) from the collective plane (1, reductions/barriers), so a
+//! reduction can never consume a halo message still in flight from an
+//! overlapped exchange — each plane keeps its own per-pair FIFO.
+//!
+//! Eager `MPI_Isend`-style semantics: [`Communicator::send_f64`] writes
+//! the frame straight into the socket and returns; the *receiving* side
+//! owns a reader thread per peer that drains the socket into an in-memory
+//! [`MsgQueue`] regardless of whether a receive has been posted. Sends
+//! therefore complete without a matching receive (the kernel buffer plus
+//! the peer's reader thread form the eager buffer), receives block only
+//! on genuinely missing data, and the transfer makes progress while the
+//! application computes — the compute/communication overlap the split
+//! `start_exchange`/`finish_exchange` path exploits. A died peer closes
+//! its queues with a reason, so a blocked rank panics with "rank N
+//! disconnected" instead of hanging.
+
+use crate::comm::Communicator;
+use crate::nb::MsgQueue;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Point-to-point plane (ghost exchange, user messages).
+const CLASS_P2P: u8 = 0;
+/// Collective plane (reductions, barriers).
+const CLASS_COLL: u8 = 1;
+
+/// Collective op codes, packed into the low bits of the collective tag;
+/// the per-communicator epoch counter fills the high bits so a mismatched
+/// collective (one rank in a sum, another in a barrier, or one rank an
+/// epoch ahead) is caught as a tag mismatch instead of silently pairing.
+const OP_SUM: u64 = 1;
+const OP_MAX: u64 = 2;
+const OP_BARRIER: u64 = 3;
+
+struct Peer {
+    /// Write half (the stream is duplex; reads happen on the reader
+    /// thread's clone). A mutex serializes concurrent senders.
+    writer: Mutex<UnixStream>,
+    /// Inbox of the point-to-point plane, filled by the reader thread.
+    p2p: Arc<MsgQueue>,
+    /// Inbox of the collective plane.
+    coll: Arc<MsgQueue>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One rank of a multi-process SPMD group over Unix-domain sockets.
+pub struct ProcessComm {
+    rank: usize,
+    size: usize,
+    /// `peers[r]` is `None` at `r == rank`.
+    peers: Vec<Option<Peer>>,
+    /// Collective epoch counter (see the op-code docs above).
+    epoch: AtomicU64,
+    /// This rank's socket path, unlinked on drop.
+    sock_path: PathBuf,
+}
+
+fn write_frame(w: &mut UnixStream, class: u8, tag: u64, data: &[f64]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(17 + data.len() * 8);
+    buf.push(class);
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+fn read_exact_or_eof(r: &mut UnixStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false) // clean EOF between frames
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "mid-frame EOF",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reader loop: drain frames from `stream` into the two inboxes until
+/// EOF or error, then close both with a reason.
+fn reader_loop(mut stream: UnixStream, src: usize, p2p: Arc<MsgQueue>, coll: Arc<MsgQueue>) {
+    let reason = loop {
+        let mut header = [0u8; 17];
+        match read_exact_or_eof(&mut stream, &mut header) {
+            Ok(false) => break format!("rank {src} disconnected"),
+            Err(e) => break format!("rank {src} connection failed: {e}"),
+            Ok(true) => {}
+        }
+        let class = header[0];
+        let tag = u64::from_le_bytes(header[1..9].try_into().expect("8-byte slice"));
+        let count = u64::from_le_bytes(header[9..17].try_into().expect("8-byte slice")) as usize;
+        let mut payload = vec![0u8; count * 8];
+        match read_exact_or_eof(&mut stream, &mut payload) {
+            Ok(true) => {}
+            Ok(false) if count == 0 => {}
+            _ => break format!("rank {src} died mid-message ({count} doubles expected)"),
+        }
+        let data: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        match class {
+            CLASS_P2P => p2p.push(tag, data),
+            CLASS_COLL => coll.push(tag, data),
+            other => break format!("rank {src} sent unknown frame class {other}"),
+        }
+    };
+    p2p.close(&reason);
+    coll.close(&reason);
+}
+
+impl ProcessComm {
+    /// Join (or form) the SPMD group: bind this rank's socket under
+    /// `dir`, connect to every lower rank, accept from every higher one.
+    /// Blocks until the full mesh is up or `timeout` expires.
+    pub fn connect(
+        rank: usize,
+        size: usize,
+        dir: &Path,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        assert!(rank < size, "rank {rank} out of range 0..{size}");
+        let sock_path = dir.join(format!("rank{rank}.sock"));
+        let _ = std::fs::remove_file(&sock_path);
+        let listener = UnixListener::bind(&sock_path)?;
+        let deadline = Instant::now() + timeout;
+        let mut streams: Vec<Option<UnixStream>> = (0..size).map(|_| None).collect();
+        // dial every lower rank (its listener may not be bound yet: retry)
+        for peer in 0..rank {
+            let path = dir.join(format!("rank{peer}.sock"));
+            let stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(std::io::Error::new(
+                                e.kind(),
+                                format!(
+                                    "rank {rank}: timed out dialing rank {peer} at {}: {e}",
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            };
+            let mut hello = stream;
+            hello.write_all(&(rank as u64).to_le_bytes())?;
+            streams[peer] = Some(hello);
+        }
+        // accept from every higher rank; the hello frame says which
+        for _ in rank + 1..size {
+            // bounded accept so a dead sibling cannot hang the rendezvous
+            let (mut stream, _) = accept_with_deadline(&listener, deadline)?;
+            let mut hello = [0u8; 8];
+            stream.read_exact(&mut hello)?;
+            let peer = u64::from_le_bytes(hello) as usize;
+            if peer <= rank || peer >= size {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("rank {rank}: bogus hello from alleged rank {peer}"),
+                ));
+            }
+            streams[peer] = Some(stream);
+        }
+        let peers = streams
+            .into_iter()
+            .enumerate()
+            .map(|(src, s)| {
+                s.map(|stream| {
+                    let p2p = Arc::new(MsgQueue::new());
+                    let coll = Arc::new(MsgQueue::new());
+                    let rstream = stream.try_clone().expect("clone peer stream");
+                    let (p2, c2) = (p2p.clone(), coll.clone());
+                    let reader = std::thread::Builder::new()
+                        .name(format!("comm-r{rank}-from{src}"))
+                        .spawn(move || reader_loop(rstream, src, p2, c2))
+                        .expect("spawn comm reader thread");
+                    Peer {
+                        writer: Mutex::new(stream),
+                        p2p,
+                        coll,
+                        reader: Some(reader),
+                    }
+                })
+            })
+            .collect();
+        Ok(Self {
+            rank,
+            size,
+            peers,
+            epoch: AtomicU64::new(0),
+            sock_path,
+        })
+    }
+
+    /// Join the group described by the `DGFLOW_RANK` / `DGFLOW_RANKS` /
+    /// `DGFLOW_RANK_DIR` environment the [`crate::spmd`] launcher sets.
+    /// `None` when the environment is absent (not running under a
+    /// launcher). Panics on a malformed environment or a failed
+    /// rendezvous — inside a rank process there is nothing to fall back
+    /// to.
+    pub fn from_env() -> Option<Self> {
+        let rank: usize = std::env::var("DGFLOW_RANK").ok()?.parse().ok()?;
+        let size: usize = std::env::var("DGFLOW_RANKS")
+            .expect("DGFLOW_RANK is set but DGFLOW_RANKS is not")
+            .parse()
+            .expect("DGFLOW_RANKS must be an integer");
+        let dir = std::env::var("DGFLOW_RANK_DIR")
+            .expect("DGFLOW_RANK is set but DGFLOW_RANK_DIR is not");
+        let timeout = std::env::var("DGFLOW_RANK_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map_or(Duration::from_secs(30), Duration::from_millis);
+        Some(
+            Self::connect(rank, size, Path::new(&dir), timeout)
+                .unwrap_or_else(|e| panic!("rank {rank}/{size} rendezvous failed: {e}")),
+        )
+    }
+
+    fn peer(&self, r: usize) -> &Peer {
+        assert!(
+            r != self.rank,
+            "rank {} cannot message itself through the socket mesh",
+            self.rank
+        );
+        self.peers[r]
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {r} out of range 0..{}", self.size))
+    }
+
+    fn send_frame(&self, dest: usize, class: u8, tag: u64, data: &[f64]) {
+        let mut w = self.peer(dest).writer.lock().expect("comm writer poisoned");
+        write_frame(&mut w, class, tag, data).unwrap_or_else(|e| {
+            panic!(
+                "rank {} -> rank {dest}: send of {} doubles (tag {tag:#x}) failed: {e}",
+                self.rank,
+                data.len()
+            )
+        });
+    }
+
+    fn recv_from(&self, src: usize, class: u8, tag: u64) -> Vec<f64> {
+        let q = if class == CLASS_P2P {
+            &self.peer(src).p2p
+        } else {
+            &self.peer(src).coll
+        };
+        let (t, data) = q.pop().unwrap_or_else(|reason| {
+            panic!(
+                "rank {} waiting on rank {src} (tag {tag:#x}): {reason}",
+                self.rank
+            )
+        });
+        assert_eq!(
+            t,
+            tag,
+            "rank {} receiving from rank {src}: tag mismatch: expected {tag:#x}, got {t:#x} \
+             ({} more message(s) queued from that rank) — the communication schedules of the \
+             two ranks have diverged",
+            self.rank,
+            q.depth()
+        );
+        data
+    }
+
+    /// Star allreduce rooted at rank 0. Rank order of the accumulation is
+    /// fixed (0, 1, …, n−1), matching `ThreadComm::reduce`'s slot sweep,
+    /// so the two backends produce bitwise-identical reductions.
+    fn allreduce(&self, x: f64, op: u64, combine: impl Fn(f64, f64) -> f64) -> f64 {
+        if self.size == 1 {
+            return x;
+        }
+        // ordering: Relaxed — the epoch is only a tag-uniqueness counter
+        // within this rank; cross-rank agreement comes from program order.
+        let tag = (self.epoch.fetch_add(1, Ordering::Relaxed) << 3) | op;
+        if self.rank == 0 {
+            let mut acc = x;
+            for r in 1..self.size {
+                let v = self.recv_from(r, CLASS_COLL, tag);
+                acc = combine(acc, v[0]);
+            }
+            for r in 1..self.size {
+                self.send_frame(r, CLASS_COLL, tag, &[acc]);
+            }
+            acc
+        } else {
+            self.send_frame(0, CLASS_COLL, tag, &[x]);
+            self.recv_from(0, CLASS_COLL, tag)[0]
+        }
+    }
+}
+
+fn accept_with_deadline(
+    listener: &UnixListener,
+    deadline: Instant,
+) -> std::io::Result<(UnixStream, std::os::unix::net::SocketAddr)> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok(pair) => {
+                pair.0.set_nonblocking(false)?;
+                return Ok(pair);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out accepting a rank connection",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl Communicator for ProcessComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+    fn size(&self) -> usize {
+        self.size
+    }
+    fn send_f64(&self, dest: usize, tag: u64, data: Vec<f64>) {
+        self.send_frame(dest, CLASS_P2P, tag, &data);
+    }
+    fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64> {
+        self.recv_from(src, CLASS_P2P, tag)
+    }
+    fn allreduce_sum(&self, x: f64) -> f64 {
+        self.allreduce(x, OP_SUM, |a, b| a + b)
+    }
+    fn allreduce_max(&self, x: f64) -> f64 {
+        self.allreduce(x, OP_MAX, f64::max)
+    }
+    fn barrier(&self) {
+        let _ = self.allreduce(0.0, OP_BARRIER, |_, _| 0.0);
+    }
+}
+
+impl Drop for ProcessComm {
+    fn drop(&mut self) {
+        // shut down both directions: Write so every peer's reader sees our
+        // EOF, and Read so our own readers unblock *now* — joining a
+        // reader that waits for a still-alive peer's EOF would deadlock
+        // two ranks dropping in opposite order
+        for p in self.peers.iter().flatten() {
+            if let Ok(w) = p.writer.lock() {
+                let _ = w.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for p in self.peers.iter_mut().flatten() {
+            if let Some(h) = p.reader.take() {
+                let _ = h.join();
+            }
+        }
+        let _ = std::fs::remove_file(&self.sock_path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-process pair over real sockets: two `ProcessComm`s on threads
+    /// (the launcher path with genuine child processes is covered by the
+    /// spmd tests and `cargo xtask dist-smoke`).
+    fn pair<R: Send>(f: impl Fn(&ProcessComm) -> R + Sync) -> Vec<R> {
+        let dir = std::env::temp_dir().join(format!(
+            "dgflow-proc-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+        let timeout = Duration::from_secs(10);
+        let out = std::thread::scope(|s| {
+            let d1 = &dir;
+            let f = &f;
+            let h = s.spawn(move || {
+                let c = ProcessComm::connect(1, 2, d1, timeout).expect("rank 1 connect");
+                f(&c)
+            });
+            let c = ProcessComm::connect(0, 2, &dir, timeout).expect("rank 0 connect");
+            let r0 = f(&c);
+            drop(c);
+            vec![r0, h.join().expect("rank 1 thread")]
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn pingpong_roundtrips_payload() {
+        let got = pair(|c| {
+            if c.rank() == 0 {
+                c.send_f64(1, 7, vec![1.5, -2.5, 3.25]);
+                c.recv_f64(1, 8)
+            } else {
+                let v = c.recv_f64(0, 7);
+                c.send_f64(0, 8, v.iter().map(|x| x * 2.0).collect());
+                vec![]
+            }
+        });
+        assert_eq!(got[0], vec![3.0, -5.0, 6.5]);
+    }
+
+    #[test]
+    fn eager_sends_complete_without_matching_recv() {
+        // both ranks send many messages before either receives: with
+        // blocking rendezvous semantics this deadlocks; eager buffering
+        // (the peer reader thread) must drain it
+        let n = 200u64;
+        let len = 1024;
+        let sums = pair(|c| {
+            let other = 1 - c.rank();
+            for i in 0..n {
+                c.send_f64(other, i, vec![i as f64; len]);
+            }
+            let mut sum = 0.0;
+            for i in 0..n {
+                sum += c.recv_f64(other, i)[0];
+            }
+            sum
+        });
+        let expect: f64 = (0..n).map(|i| i as f64).sum();
+        assert_eq!(sums, vec![expect, expect]);
+    }
+
+    #[test]
+    fn reductions_and_barrier_agree() {
+        let out = pair(|c| {
+            let s = c.allreduce_sum((c.rank() + 1) as f64);
+            let m = c.allreduce_max(c.rank() as f64);
+            c.barrier();
+            (s, m)
+        });
+        assert_eq!(out, vec![(3.0, 1.0), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn repeated_reductions_use_fresh_epochs() {
+        let out = pair(|c| {
+            let mut total = 0.0;
+            for i in 0..50u64 {
+                total += c.allreduce_sum((c.rank() as u64 * i) as f64);
+            }
+            total
+        });
+        let expect: f64 = (0..50u64).map(|i| i as f64).sum();
+        assert_eq!(out[0], expect);
+        assert_eq!(out[1], expect);
+    }
+
+    #[test]
+    fn dead_peer_panics_blocked_recv_with_rank_name() {
+        let dir = std::env::temp_dir().join(format!("dgflow-proc-dead-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+        let timeout = Duration::from_secs(10);
+        let err = std::thread::scope(|s| {
+            let d = &dir;
+            let h = s.spawn(move || {
+                // rank 1 connects and immediately drops (simulated death)
+                let c = ProcessComm::connect(1, 2, d, timeout).expect("rank 1 connect");
+                drop(c);
+            });
+            let c = ProcessComm::connect(0, 2, &dir, timeout).expect("rank 0 connect");
+            h.join().expect("rank 1 thread");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = c.recv_f64(1, 9);
+            }))
+            .expect_err("recv from a dead rank must panic, not hang")
+        });
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 1 disconnected"),
+            "diagnostic should name the dead rank: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,234 @@
+//! SPMD process launcher: run one command as `n` genuine OS-process
+//! ranks (`dgflow ranks <n> -- <cmd>`, `cargo xtask dist-smoke`, the
+//! scaling harness).
+//!
+//! The launcher creates a fresh rendezvous directory, spawns `n` copies
+//! of the command with the rank environment set
+//! (`DGFLOW_RANK`/`DGFLOW_RANKS`/`DGFLOW_RANK_DIR`), and supervises
+//! them: the run succeeds only if *every* rank exits 0. The moment one
+//! rank fails, the survivors are killed — a distributed program whose
+//! rank 3 panicked must not leave ranks 0–2 blocked in `recv` forever —
+//! and the error names the failing rank and its exit status.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Specification of one SPMD launch.
+pub struct SpmdCommand {
+    /// Executable to run on every rank.
+    pub program: PathBuf,
+    /// Arguments passed identically to every rank.
+    pub args: Vec<String>,
+    /// Extra environment set identically on every rank (the per-rank
+    /// `DGFLOW_RANK*` variables are added on top).
+    pub envs: Vec<(String, String)>,
+    /// Kill the whole group if it has not finished after this long.
+    pub timeout: Option<Duration>,
+    /// Silence rank stdout for all ranks but 0 (the usual SPMD
+    /// convention: rank 0 reports, the others compute).
+    pub quiet_nonzero_ranks: bool,
+}
+
+impl SpmdCommand {
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        Self {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+            timeout: None,
+            quiet_nonzero_ranks: false,
+        }
+    }
+
+    pub fn arg(mut self, a: impl Into<String>) -> Self {
+        self.args.push(a.into());
+        self
+    }
+
+    pub fn env(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.envs.push((k.into(), v.into()));
+        self
+    }
+
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = Some(t);
+        self
+    }
+
+    pub fn quiet_nonzero_ranks(mut self) -> Self {
+        self.quiet_nonzero_ranks = true;
+        self
+    }
+
+    /// Launch `n` ranks and wait for all of them. `Ok(())` iff every
+    /// rank exited 0.
+    pub fn launch(&self, n: usize) -> Result<(), String> {
+        assert!(n >= 1, "an SPMD group needs at least one rank");
+        let dir = rendezvous_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create rendezvous dir {}: {e}", dir.display()))?;
+        let result = self.launch_in(n, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
+    fn launch_in(&self, n: usize, dir: &std::path::Path) -> Result<(), String> {
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(n);
+        for rank in 0..n {
+            let mut cmd = Command::new(&self.program);
+            cmd.args(&self.args)
+                .env("DGFLOW_RANK", rank.to_string())
+                .env("DGFLOW_RANKS", n.to_string())
+                .env("DGFLOW_RANK_DIR", dir);
+            for (k, v) in &self.envs {
+                cmd.env(k, v);
+            }
+            if self.quiet_nonzero_ranks && rank != 0 {
+                cmd.stdout(Stdio::null());
+            }
+            match cmd.spawn() {
+                Ok(c) => children.push(Some(c)),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(format!(
+                        "could not spawn rank {rank} ({}): {e}",
+                        self.program.display()
+                    ));
+                }
+            }
+        }
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        let mut failure: Option<String> = None;
+        let mut remaining = n;
+        while remaining > 0 {
+            let mut progressed = false;
+            for (rank, slot) in children.iter_mut().enumerate() {
+                let Some(child) = slot else { continue };
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        progressed = true;
+                        remaining -= 1;
+                        if !status.success() && failure.is_none() {
+                            failure = Some(format!("rank {rank} failed: {status}"));
+                        }
+                        *slot = None;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        progressed = true;
+                        remaining -= 1;
+                        if failure.is_none() {
+                            failure = Some(format!("rank {rank} unwaitable: {e}"));
+                        }
+                        *slot = None;
+                    }
+                }
+            }
+            // one failed rank dooms the group: reap the survivors now so
+            // nobody blocks in recv on a dead peer longer than needed
+            // (their sockets already broke, but a rank stuck *before*
+            // comm setup would otherwise linger)
+            if failure.is_some() && remaining > 0 {
+                kill_all(&mut children);
+                remaining = 0;
+                continue;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d && remaining > 0 {
+                    failure.get_or_insert_with(|| {
+                        format!("{remaining} rank(s) hung past the timeout")
+                    });
+                    kill_all(&mut children);
+                    remaining = 0;
+                }
+            }
+            if !progressed && remaining > 0 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        match failure {
+            None => Ok(()),
+            Some(f) => Err(f),
+        }
+    }
+}
+
+fn kill_all(children: &mut [Option<Child>]) {
+    for slot in children.iter_mut() {
+        if let Some(child) = slot {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        *slot = None;
+    }
+}
+
+/// A fresh per-launch rendezvous directory (Unix socket paths must stay
+/// short, so prefer /tmp over target/).
+fn rendezvous_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — uniqueness counter only.
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dgflow-ranks-{}-{seq}", std::process::id()))
+}
+
+/// The rank environment of the current process, if launched by
+/// [`SpmdCommand::launch`]: `(rank, size)`.
+pub fn rank_env() -> Option<(usize, usize)> {
+    let rank = std::env::var("DGFLOW_RANK").ok()?.parse().ok()?;
+    let size = std::env::var("DGFLOW_RANKS").ok()?.parse().ok()?;
+    Some((rank, size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zero_exits_succeed() {
+        let r = SpmdCommand::new("/bin/sh")
+            .arg("-c")
+            .arg("exit 0")
+            .timeout(Duration::from_secs(30))
+            .launch(3);
+        assert!(r.is_ok(), "{r:?}");
+    }
+
+    #[test]
+    fn one_failing_rank_fails_the_group_and_names_it() {
+        let r = SpmdCommand::new("/bin/sh")
+            .arg("-c")
+            .arg("if [ \"$DGFLOW_RANK\" = 1 ]; then exit 7; fi; exit 0")
+            .timeout(Duration::from_secs(30))
+            .launch(3);
+        let err = r.expect_err("group with a failing rank must fail");
+        assert!(err.contains("rank 1"), "error should name the rank: {err}");
+    }
+
+    #[test]
+    fn hung_rank_is_killed_at_the_timeout() {
+        let t = Instant::now();
+        let r = SpmdCommand::new("/bin/sh")
+            .arg("-c")
+            .arg("if [ \"$DGFLOW_RANK\" = 0 ]; then sleep 600; fi; exit 0")
+            .timeout(Duration::from_millis(700))
+            .launch(2);
+        assert!(r.is_err(), "hung group must be reported");
+        assert!(
+            t.elapsed() < Duration::from_secs(60),
+            "the launcher must not wait out the sleep"
+        );
+    }
+
+    #[test]
+    fn rank_env_round_trips() {
+        let r = SpmdCommand::new("/bin/sh")
+            .arg("-c")
+            .arg("[ \"$DGFLOW_RANK\" -lt \"$DGFLOW_RANKS\" ] && [ -d \"$DGFLOW_RANK_DIR\" ]")
+            .timeout(Duration::from_secs(30))
+            .launch(2);
+        assert!(r.is_ok(), "{r:?}");
+    }
+}

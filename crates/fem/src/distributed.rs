@@ -206,43 +206,132 @@ fn scatter_local<T: Real, const L: usize>(
     }
 }
 
+/// Static interior/boundary classification of this rank's compute — the
+/// overlap schedule of the distributed operator application (the paper's
+/// Sec. 3.2 scaling lever). A batch is *interior* when none of its lanes
+/// reads a ghost slot, so it can be evaluated while the halo exchange is
+/// still in flight; *halo* batches wait for `finish_update`.
+#[derive(Clone, Debug, Default)]
+pub struct OverlapPlan {
+    /// Cell-batch indices evaluable before the halo arrives.
+    pub interior_cells: Vec<u32>,
+    /// Cell-batch indices reading at least one ghost lane.
+    pub halo_cells: Vec<u32>,
+    /// Face-batch indices evaluable before the halo arrives.
+    pub interior_faces: Vec<u32>,
+    /// Face-batch indices reading at least one ghost lane.
+    pub halo_faces: Vec<u32>,
+}
+
+impl OverlapPlan {
+    /// Classify every batch this rank computes. Irrelevant batches (no
+    /// owned lane) appear in neither list.
+    pub fn build<T: Real, const L: usize>(part: &Partition, mf: &MatrixFree<T, L>) -> Self {
+        // local_slot holds exactly the ghost cells (owned cells resolve
+        // through the contiguous range), so "reads a ghost" is a map probe
+        let is_ghost = |cell: u32| part.local_slot.contains_key(&(cell as usize));
+        let owned = |cell: u32| part.own_cells.contains(&(cell as usize));
+        let mut plan = Self::default();
+        for (bi, b) in mf.cell_batches.iter().enumerate() {
+            if !(0..b.n_filled).any(|l| owned(b.cells[l])) {
+                continue;
+            }
+            if (0..b.n_filled).any(|l| is_ghost(b.cells[l])) {
+                plan.halo_cells.push(bi as u32);
+            } else {
+                plan.interior_cells.push(bi as u32);
+            }
+        }
+        for (bi, b) in mf.face_batches.iter().enumerate() {
+            if !(0..b.n_filled).any(|l| owned(b.minus[l])) {
+                continue;
+            }
+            let reads_ghost = (0..b.n_filled)
+                .any(|l| is_ghost(b.minus[l]) || (b.plus[l] != u32::MAX && is_ghost(b.plus[l])));
+            if reads_ghost {
+                plan.halo_faces.push(bi as u32);
+            } else {
+                plan.interior_faces.push(bi as u32);
+            }
+        }
+        plan
+    }
+}
+
 /// One distributed application of the SIPG Laplacian on this rank:
 /// `dst_owned = (L src)_owned`, with `src`/`dst` in rank-local layout
 /// (owned block then ghosts, `f64` wire format).
+///
+/// The evaluation order is the overlap schedule: the halo exchange is
+/// *started*, the plan's interior batches are swept while it is in
+/// flight, the exchange is *finished*, and only then are the
+/// ghost-reading batches evaluated. The result is identical to the
+/// blocking order because interior batches read no ghost slot by
+/// construction.
 pub fn apply_distributed<T: Real, const L: usize>(
     comm: &dyn Communicator,
     part: &Partition,
+    plan: &OverlapPlan,
     mf: &MatrixFree<T, L>,
     bc: &[BoundaryCondition],
     src: &mut [f64],
     dst: &mut Vec<f64>,
 ) {
-    let dpc = mf.dofs_per_cell;
     let n_owned = part.n_owned();
     assert_eq!(src.len(), part.n_local());
     dst.clear();
     dst.resize(part.n_local(), 0.0);
-    // halo exchange of source values
-    part.pattern.update(comm, src, n_owned);
 
-    let bc_of = |id: u32| {
-        bc.get(id as usize)
-            .copied()
-            .unwrap_or(BoundaryCondition::Dirichlet)
-    };
-    let owner_ok = |cell: u32| part.own_cells.contains(&(cell as usize));
-
-    // cell loop (own cells only; straddling batches recompute shared lanes)
     let mut s = CellScratch::<T, L>::new(mf);
+    let mut sm = FaceScratch::<T, L>::new(mf);
+    let mut sp = FaceScratch::<T, L>::new(mf);
+
+    // post the halo sends, sweep the interior while the wire is busy
+    let epoch = part.pattern.start_update(comm, src, n_owned);
+    {
+        let _sp = dgflow_trace::span("comm", "comm.overlap_interior");
+        cell_sweep(part, mf, &plan.interior_cells, src, dst, &mut s);
+        face_sweep(
+            part,
+            mf,
+            bc,
+            &plan.interior_faces,
+            src,
+            dst,
+            &mut sm,
+            &mut sp,
+        );
+    }
+    part.pattern.finish_update(comm, src, n_owned, epoch);
+
+    // ghost data is in: the boundary-adjacent remainder
+    cell_sweep(part, mf, &plan.halo_cells, src, dst, &mut s);
+    face_sweep(part, mf, bc, &plan.halo_faces, src, dst, &mut sm, &mut sp);
+
+    // return remotely accumulated contributions to their owners
+    part.pattern.compress_add(comm, dst, n_owned);
+}
+
+/// Cell integrals of the listed batches (owned lanes scatter; straddling
+/// batches recompute shared lanes).
+fn cell_sweep<T: Real, const L: usize>(
+    part: &Partition,
+    mf: &MatrixFree<T, L>,
+    batches: &[u32],
+    src: &[f64],
+    dst: &mut [f64],
+    s: &mut CellScratch<T, L>,
+) {
+    let dpc = mf.dofs_per_cell;
+    let owner_ok = |cell: u32| part.own_cells.contains(&(cell as usize));
     let nq3 = mf.n_q().pow(3);
-    for (bi, b) in mf.cell_batches.iter().enumerate() {
-        if !(0..b.n_filled).any(|l| owner_ok(b.cells[l])) {
-            continue;
-        }
+    for &bi in batches {
+        let bi = bi as usize;
+        let b = &mf.cell_batches[bi];
         let g = &mf.cell_geometry[bi];
         gather_local(part, &b.cells, b.n_filled, src, dpc, &mut s.dofs);
-        evaluate_values(mf, &mut s);
-        evaluate_gradients(mf, &mut s);
+        evaluate_values(mf, s);
+        evaluate_gradients(mf, s);
         for q in 0..nq3 {
             let gr = [s.grad[0][q], s.grad[1][q], s.grad[2][q]];
             let jxw = g.jxw[q];
@@ -255,21 +344,38 @@ pub fn apply_distributed<T: Real, const L: usize>(
                 s.grad[c][q] = t[0] * m[c] + t[1] * m[3 + c] + t[2] * m[6 + c];
             }
         }
-        integrate(mf, &mut s, false, true);
+        integrate(mf, s, false, true);
         scatter_local(part, &b.cells, b.n_filled, &s.dofs, dpc, dst, |l| {
             owner_ok(b.cells[l])
         });
     }
+}
 
-    // face loop (faces whose minus cell is owned here)
-    let mut sm = FaceScratch::<T, L>::new(mf);
-    let mut sp = FaceScratch::<T, L>::new(mf);
+/// Face integrals of the listed batches (minus-owned faces only; plus
+/// contributions may land in ghost slots and return through compress).
+#[allow(clippy::too_many_arguments)]
+fn face_sweep<T: Real, const L: usize>(
+    part: &Partition,
+    mf: &MatrixFree<T, L>,
+    bc: &[BoundaryCondition],
+    batches: &[u32],
+    src: &[f64],
+    dst: &mut [f64],
+    sm: &mut FaceScratch<T, L>,
+    sp: &mut FaceScratch<T, L>,
+) {
+    let dpc = mf.dofs_per_cell;
+    let owner_ok = |cell: u32| part.own_cells.contains(&(cell as usize));
+    let bc_of = |id: u32| {
+        bc.get(id as usize)
+            .copied()
+            .unwrap_or(BoundaryCondition::Dirichlet)
+    };
     let nq2 = mf.n_q() * mf.n_q();
-    for (bi, b) in mf.face_batches.iter().enumerate() {
+    for &bi in batches {
+        let bi = bi as usize;
+        let b = &mf.face_batches[bi];
         let mine = |l: usize| owner_ok(b.minus[l]);
-        if !(0..b.n_filled).any(mine) {
-            continue;
-        }
         let fb: &FaceBatch<L> = b;
         let g = &mf.face_geometry[bi];
         let cat = fb.category;
@@ -278,7 +384,7 @@ pub fn apply_distributed<T: Real, const L: usize>(
         }
         let desc_m = FaceSideDesc::minus(fb);
         gather_local(part, &fb.minus, fb.n_filled, src, dpc, &mut sm.dofs);
-        evaluate_face(mf, desc_m, true, &mut sm);
+        evaluate_face(mf, desc_m, true, sm);
         if cat.is_boundary {
             for q in 0..nq2 {
                 let u = sm.val[q];
@@ -293,13 +399,13 @@ pub fn apply_distributed<T: Real, const L: usize>(
                     sm.grad[d][q] = g.g_minus[q * 3 + d] * gsc;
                 }
             }
-            integrate_face(mf, desc_m, true, &mut sm);
+            integrate_face(mf, desc_m, true, sm);
             scatter_local(part, &fb.minus, fb.n_filled, &sm.dofs, dpc, dst, mine);
             continue;
         }
         let desc_p = FaceSideDesc::plus(fb);
         gather_local(part, &fb.plus, fb.n_filled, src, dpc, &mut sp.dofs);
-        evaluate_face(mf, desc_p, true, &mut sp);
+        evaluate_face(mf, desc_p, true, sp);
         let half = T::from_f64(0.5);
         for q in 0..nq2 {
             let um = sm.val[q];
@@ -321,15 +427,12 @@ pub fn apply_distributed<T: Real, const L: usize>(
                 sp.grad[d][q] = g.g_plus[q * 3 + d] * gsc;
             }
         }
-        integrate_face(mf, desc_m, true, &mut sm);
+        integrate_face(mf, desc_m, true, sm);
         scatter_local(part, &fb.minus, fb.n_filled, &sm.dofs, dpc, dst, mine);
-        integrate_face(mf, desc_p, true, &mut sp);
+        integrate_face(mf, desc_p, true, sp);
         // plus contributions may land in ghost slots — returned below
         scatter_local(part, &fb.plus, fb.n_filled, &sp.dofs, dpc, dst, mine);
     }
-
-    // return remotely accumulated contributions to their owners
-    part.pattern.compress_add(comm, dst, n_owned);
 }
 
 #[cfg(test)]
@@ -365,6 +468,7 @@ mod tests {
         let bc = vec![BoundaryCondition::Dirichlet];
         let results = ThreadComm::run(n_ranks, |comm| {
             let part = &parts[comm.rank()];
+            let plan = OverlapPlan::build(part, &mf);
             let mut src = vec![0.0; part.n_local()];
             for c in part.own_cells.clone() {
                 let slot = part.slot(c).unwrap();
@@ -372,7 +476,7 @@ mod tests {
                     .copy_from_slice(&x_global[c * dpc..(c + 1) * dpc]);
             }
             let mut dst = Vec::new();
-            apply_distributed(comm, part, &mf, &bc, &mut src, &mut dst);
+            apply_distributed(comm, part, &plan, &mf, &bc, &mut src, &mut dst);
             (part.own_cells.clone(), dst[..part.n_owned()].to_vec())
         });
         let mut out = vec![0.0; mf.n_dofs()];
@@ -380,6 +484,51 @@ mod tests {
             out[range.start * dpc..range.end * dpc].copy_from_slice(&owned);
         }
         out
+    }
+
+    /// The overlap plan must (a) cover every relevant batch exactly once
+    /// and (b) actually classify a useful share of the work as interior —
+    /// an empty interior list would silently degrade to the blocking
+    /// schedule.
+    #[test]
+    fn overlap_plan_partitions_relevant_batches() {
+        let forest = hanging_forest();
+        let manifold = TrilinearManifold::from_forest(&forest);
+        let mf = MatrixFree::<f64, 4>::new(&forest, &manifold, MfParams::dg(2));
+        let n_ranks = 3;
+        let parts = build_partitions(&forest, &mf, n_ranks);
+        for part in &parts {
+            let plan = OverlapPlan::build(part, &mf);
+            let owned = |c: u32| part.own_cells.contains(&(c as usize));
+            let mut seen = std::collections::BTreeSet::new();
+            for &bi in plan.interior_cells.iter().chain(&plan.halo_cells) {
+                assert!(seen.insert(("c", bi)), "cell batch {bi} listed twice");
+                let b = &mf.cell_batches[bi as usize];
+                assert!((0..b.n_filled).any(|l| owned(b.cells[l])));
+            }
+            for &bi in plan.interior_faces.iter().chain(&plan.halo_faces) {
+                assert!(seen.insert(("f", bi)), "face batch {bi} listed twice");
+                let b = &mf.face_batches[bi as usize];
+                assert!((0..b.n_filled).any(|l| owned(b.minus[l])));
+            }
+            // every relevant batch is covered
+            let n_rel_cells = mf
+                .cell_batches
+                .iter()
+                .filter(|b| (0..b.n_filled).any(|l| owned(b.cells[l])))
+                .count();
+            assert_eq!(
+                plan.interior_cells.len() + plan.halo_cells.len(),
+                n_rel_cells
+            );
+            // interior work exists on every rank of this mesh: the point
+            // of the overlap schedule
+            assert!(
+                !plan.interior_cells.is_empty(),
+                "rank {} has no interior cells to overlap",
+                part.rank
+            );
+        }
     }
 
     #[test]
@@ -441,6 +590,7 @@ mod tests {
         let bc = vec![BoundaryCondition::Dirichlet];
         let results = ThreadComm::run(n_ranks, |comm| {
             let part = &parts[comm.rank()];
+            let plan = OverlapPlan::build(part, &mf);
             let n_owned = part.n_owned();
             let n_local = part.n_local();
             let mut b = vec![0.0; n_local];
@@ -454,7 +604,7 @@ mod tests {
             let mut ap = Vec::new();
             let mut rr = dist_dot(comm, &rvec, &rvec, n_owned);
             for _ in 0..2000 {
-                apply_distributed(comm, part, &mf, &bc, &mut p, &mut ap);
+                apply_distributed(comm, part, &plan, &mf, &bc, &mut p, &mut ap);
                 let pap = dist_dot(comm, &p, &ap, n_owned);
                 let alpha = rr / pap;
                 for i in 0..n_owned {

@@ -18,7 +18,7 @@ pub mod machine;
 pub mod scaling;
 
 pub use counts::LaplaceCounts;
-pub use machine::MachineModel;
+pub use machine::{fit_latency_bandwidth, MachineModel};
 pub use scaling::{
     hybrid_level_sizes, matvec_time, strong_scaling_sweep, MgSolveModel, ScalingPoint,
 };

@@ -52,6 +52,49 @@ impl MachineModel {
     pub fn cache_per_node(&self) -> f64 {
         self.cache_per_core * self.cores_per_node as f64
     }
+
+    /// Replace the network parameters with values fitted from measured
+    /// ping-pong round trips (`cargo xtask scaling` runs the
+    /// microbenchmark on real socket-backed ranks and feeds the fit back
+    /// here), so the comm terms of the model describe the transport the
+    /// scaling curves were actually measured on.
+    pub fn with_measured_comm(mut self, net_latency: f64, net_bw: f64) -> Self {
+        self.net_latency = net_latency;
+        self.net_bw = net_bw;
+        self
+    }
+}
+
+/// Least-squares fit of the linear cost model `t(bytes) = latency +
+/// bytes/bandwidth` to measured one-way message times. Returns
+/// `(latency_s, bandwidth_bytes_per_s)`. At least two distinct message
+/// sizes are required; the fit clamps to non-negative latency (tiny
+/// messages on a loopback transport can yield a slightly negative
+/// intercept).
+pub fn fit_latency_bandwidth(samples: &[(f64, f64)]) -> (f64, f64) {
+    assert!(
+        samples.len() >= 2,
+        "need at least two (bytes, seconds) samples to fit latency + bandwidth"
+    );
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|&(b, _)| b).sum();
+    let sy: f64 = samples.iter().map(|&(_, t)| t).sum();
+    let sxx: f64 = samples.iter().map(|&(b, _)| b * b).sum();
+    let sxy: f64 = samples.iter().map(|&(b, t)| b * t).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 0.0,
+        "all samples share one message size; the fit is degenerate"
+    );
+    let slope = (n * sxy - sx * sy) / denom; // s per byte
+    let intercept = (sy - slope * sx) / n;
+    let latency = intercept.max(0.0);
+    let bandwidth = if slope > 0.0 {
+        1.0 / slope
+    } else {
+        f64::INFINITY
+    };
+    (latency, bandwidth)
 }
 
 #[cfg(test)]
@@ -70,5 +113,36 @@ mod tests {
     fn calibration_sets_bandwidth() {
         let m = MachineModel::calibrated(1.4e9, 110.0);
         assert!((m.mem_bw - 1.4e9 * 110.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_bandwidth_fit_recovers_exact_line() {
+        // t = 2 µs + bytes / 10 GB/s, sampled exactly
+        let lat = 2e-6;
+        let bw = 10e9;
+        let samples: Vec<(f64, f64)> = [64.0, 1024.0, 65536.0, 1048576.0]
+            .iter()
+            .map(|&b| (b, lat + b / bw))
+            .collect();
+        let (l, b) = fit_latency_bandwidth(&samples);
+        assert!((l - lat).abs() < 1e-9, "latency {l}");
+        assert!((b - bw).abs() / bw < 1e-6, "bandwidth {b}");
+    }
+
+    #[test]
+    fn negative_intercept_clamps_to_zero_latency() {
+        let samples = [(1000.0, 1e-7), (2000.0, 3e-7)];
+        let (l, b) = fit_latency_bandwidth(&samples);
+        assert_eq!(l, 0.0);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn measured_comm_overrides_network_only() {
+        let base = MachineModel::supermuc_ng();
+        let m = base.with_measured_comm(5e-6, 3e9);
+        assert_eq!(m.net_latency, 5e-6);
+        assert_eq!(m.net_bw, 3e9);
+        assert_eq!(m.mem_bw, base.mem_bw);
     }
 }

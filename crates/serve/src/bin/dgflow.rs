@@ -10,7 +10,15 @@
 //! dgflow submit   <socket> <campaign.toml> [--tenant T] [--priority N]
 //! dgflow svc      <socket> status|stats|shutdown
 //! dgflow svc      <socket> result|cancel <job-id>
+//! dgflow ranks    <n> [--timeout-ms T] -- <cmd> [args...]
 //! ```
+//!
+//! `ranks` launches `<cmd>` as `n` genuine OS-process SPMD ranks over
+//! Unix-domain sockets (the rank environment `DGFLOW_RANK` /
+//! `DGFLOW_RANKS` / `DGFLOW_RANK_DIR` is set per process;
+//! `ProcessComm::from_env` inside the program joins the mesh). The run
+//! succeeds only if every rank exits 0; the moment one rank fails the
+//! survivors are killed and the error names the failing rank.
 //!
 //! `run`/`resume` honour `DGFLOW_TRACE` (`0`/`coarse`/`fine`) and
 //! `DGFLOW_TRACE_SAMPLE`; span and metrics records land in each case's
@@ -46,7 +54,8 @@ const USAGE: &str = "usage: dgflow <command> ...\n\
   serve    <state-dir> [--socket P] [--workers N] [--max-in-flight N]\n\
   submit   <socket> <campaign.toml> [--tenant T] [--priority N]\n\
   svc      <socket> status|stats|shutdown\n\
-  svc      <socket> result|cancel <job-id>";
+  svc      <socket> result|cancel <job-id>\n\
+  ranks    <n> [--timeout-ms T] -- <cmd> [args...]   run cmd as n OS-process SPMD ranks";
 
 fn main() -> ExitCode {
     dgflow_trace::init_from_env();
@@ -68,6 +77,7 @@ fn main() -> ExitCode {
         ("serve", Some(_)) => serve_cmd(&args[1..]),
         ("submit", Some(_)) => submit_cmd(&args[1..]),
         ("svc", Some(_)) => svc_cmd(&args[1..]),
+        ("ranks", Some(_)) => ranks_cmd(&args[1..]),
         (other, _) => {
             eprintln!("dgflow: bad arguments for `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -391,6 +401,49 @@ fn svc_cmd(args: &[String]) -> ExitCode {
         }
     };
     do_request(&socket, &req)
+}
+
+/// `dgflow ranks <n> [--timeout-ms T] -- <cmd> [args...]`: run one
+/// command as `n` genuine OS-process SPMD ranks (socket rendezvous via
+/// the `DGFLOW_RANK*` environment; see `dgflow_comm::spmd`).
+fn ranks_cmd(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let timeout_ms = match take_flag(&mut args, "--timeout-ms") {
+        Ok(v) => v.and_then(|t| t.parse::<u64>().ok()),
+        Err(e) => {
+            eprintln!("dgflow ranks: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let n: usize = match args.first().and_then(|a| a.parse().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => {
+            eprintln!("dgflow ranks: first argument must be a rank count >= 1\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let sep = args.iter().position(|a| a == "--");
+    let cmd = match sep {
+        Some(i) if i + 1 < args.len() => &args[i + 1..],
+        _ => {
+            eprintln!("dgflow ranks: missing `-- <cmd> [args...]`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut spmd = dgflow_comm::SpmdCommand::new(&cmd[0]);
+    for a in &cmd[1..] {
+        spmd = spmd.arg(a);
+    }
+    if let Some(t) = timeout_ms {
+        spmd = spmd.timeout(std::time::Duration::from_millis(t));
+    }
+    match spmd.launch(n) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dgflow ranks: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Send one request, print the response line, exit 0 on `ok:true`.

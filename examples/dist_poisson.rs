@@ -1,0 +1,215 @@
+//! SPMD worker for real multi-process distributed runs: the program
+//! `dgflow ranks <n> -- …` (or `cargo xtask dist-smoke` / `cargo xtask
+//! scaling`) launches once per rank.
+//!
+//! Under a launcher (`DGFLOW_RANK` set) every instance joins the socket
+//! mesh as a [`ProcessComm`] rank; standalone it runs serially on
+//! [`SelfComm`]. Rank 0 prints one line of JSON with the result.
+//!
+//! ```text
+//! dist_poisson [--mode poisson|pingpong|model] [--refine N] [--degree K]
+//!              [--tol X] [--iters N] [--reps N]
+//!              [--samples B:T,B:T,...] [--matvec-s T] [--ndofs N]
+//!              [--ranks R,R,...]
+//! ```
+//!
+//! `--mode model` runs no solve: it fits the perfmodel's network
+//! parameters (`fit_latency_bandwidth`) to the measured ping-pong
+//! `--samples`, recalibrates the machine model from the measured serial
+//! per-mat-vec time (`--matvec-s`), and prints the modeled strong-scaling
+//! curve at `--ranks` — the "recalibrated model" column of
+//! `results/fig08_scaling.md`.
+//!
+//! `DGFLOW_TEST_RANK_PANIC=<r>` makes rank `r` abort right after the
+//! rendezvous — the error-propagation knob of `cargo xtask dist-smoke`
+//! (the launcher must kill the surviving ranks and name the dead one).
+
+use dgflow::comm::{Communicator, ProcessComm, SelfComm};
+use dgflow::distbench::{pingpong, run_poisson, PoissonCase};
+
+struct Opts {
+    mode: String,
+    refine: usize,
+    degree: usize,
+    tol: f64,
+    iters: usize,
+    reps: usize,
+    /// `--mode model`: measured one-way `(bytes, seconds)` ping-pong samples.
+    samples: Vec<(f64, f64)>,
+    /// `--mode model`: measured serial per-mat-vec wall time (s).
+    matvec_s: f64,
+    /// `--mode model`: global DoF count of the measured case.
+    ndofs: f64,
+    /// `--mode model`: rank counts to model.
+    ranks: Vec<usize>,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        mode: "poisson".into(),
+        refine: 0,
+        degree: 2,
+        tol: 1e-8,
+        iters: 1200,
+        reps: 50,
+        samples: Vec::new(),
+        matvec_s: 0.0,
+        ndofs: 0.0,
+        ranks: vec![1, 2, 4],
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--mode" => o.mode = val("--mode"),
+            "--refine" => o.refine = val("--refine").parse().expect("--refine: integer"),
+            "--degree" => o.degree = val("--degree").parse().expect("--degree: integer"),
+            "--tol" => o.tol = val("--tol").parse().expect("--tol: float"),
+            "--iters" => o.iters = val("--iters").parse().expect("--iters: integer"),
+            "--reps" => o.reps = val("--reps").parse().expect("--reps: integer"),
+            "--matvec-s" => o.matvec_s = val("--matvec-s").parse().expect("--matvec-s: float"),
+            "--ndofs" => o.ndofs = val("--ndofs").parse().expect("--ndofs: float"),
+            "--samples" => {
+                o.samples = val("--samples")
+                    .split(',')
+                    .map(|p| {
+                        let (b, t) = p.split_once(':').expect("--samples: B:T,B:T,...");
+                        (
+                            b.parse().expect("--samples: bytes"),
+                            t.parse().expect("--samples: seconds"),
+                        )
+                    })
+                    .collect();
+            }
+            "--ranks" => {
+                o.ranks = val("--ranks")
+                    .split(',')
+                    .map(|r| r.parse().expect("--ranks: R,R,..."))
+                    .collect();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    o
+}
+
+fn json_f64_array(v: &[f64]) -> String {
+    let items: Vec<String> = v.iter().map(|x| format!("{x:.17e}")).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let comm: Box<dyn Communicator> = match ProcessComm::from_env() {
+        Some(c) => Box::new(c),
+        None => Box::new(SelfComm),
+    };
+    if let Ok(r) = std::env::var("DGFLOW_TEST_RANK_PANIC") {
+        if r.parse::<usize>().ok() == Some(comm.rank()) {
+            // after the rendezvous, before any solve traffic: the other
+            // ranks are (or will be) blocked in receives on this peer
+            panic!(
+                "rank {} injected failure (DGFLOW_TEST_RANK_PANIC)",
+                comm.rank()
+            );
+        }
+    }
+    match opts.mode.as_str() {
+        "poisson" => {
+            let case = PoissonCase::build(opts.refine, opts.degree);
+            let run = run_poisson(comm.as_ref(), &case, opts.tol, opts.iters);
+            // slowest rank defines the measured wall times
+            let solve_s = comm.allreduce_max(run.solve_s);
+            let matvec_s = comm.allreduce_max(run.matvec_s);
+            if comm.rank() == 0 {
+                println!(
+                    "{{\"mode\":\"poisson\",\"ranks\":{},\"n_dofs\":{},\"degree\":{},\"refine\":{},\
+                     \"iters\":{},\"converged\":{},\"solve_s\":{solve_s:.6e},\
+                     \"matvec_s\":{matvec_s:.6e},\"n_matvecs\":{},\
+                     \"solution_norm\":{:.17e},\"residuals\":{}}}",
+                    comm.size(),
+                    run.n_dofs,
+                    opts.degree,
+                    opts.refine,
+                    run.iters,
+                    run.converged,
+                    run.n_matvecs,
+                    run.solution_norm,
+                    json_f64_array(&run.residuals),
+                );
+            }
+            assert!(
+                run.converged,
+                "rank {}: CG did not converge in {} iterations (residual {:.3e})",
+                comm.rank(),
+                run.iters,
+                run.residuals.last().copied().unwrap_or(f64::NAN)
+            );
+        }
+        "pingpong" => {
+            assert!(
+                comm.size() >= 2,
+                "pingpong needs >= 2 ranks (run under `dgflow ranks 2 -- …`)"
+            );
+            let sizes = [1usize, 8, 64, 512, 4096, 32768];
+            let samples = pingpong(comm.as_ref(), &sizes, opts.reps);
+            if comm.rank() == 0 {
+                let items: Vec<String> = samples
+                    .iter()
+                    .map(|&(b, t)| format!("[{b:.1},{t:.9e}]"))
+                    .collect();
+                println!(
+                    "{{\"mode\":\"pingpong\",\"ranks\":{},\"reps\":{},\"samples\":[{}]}}",
+                    comm.size(),
+                    opts.reps,
+                    items.join(",")
+                );
+            }
+        }
+        "model" => {
+            assert!(
+                comm.size() == 1,
+                "model mode is a serial computation (do not run under a launcher)"
+            );
+            print_model_curve(&opts);
+        }
+        other => panic!("unknown mode `{other}` (poisson | pingpong | model)"),
+    }
+}
+
+/// Fit the network parameters to the measured ping-pong samples,
+/// recalibrate the machine model from the measured serial mat-vec, and
+/// print the modeled strong-scaling curve (one JSON line).
+fn print_model_curve(opts: &Opts) {
+    use dgflow::perfmodel::{fit_latency_bandwidth, LaplaceCounts, MachineModel};
+    assert!(opts.ndofs > 0.0, "model mode needs --ndofs");
+    assert!(opts.matvec_s > 0.0, "model mode needs --matvec-s");
+    let (latency, bw) = fit_latency_bandwidth(&opts.samples);
+    let counts = LaplaceCounts::new(opts.degree, 8.0);
+    // One rank per model "node": calibrate the node bandwidth so the
+    // 1-rank model time reproduces the measured serial mat-vec exactly,
+    // and disable the cache-boost heuristic (the calibration already
+    // happened at the measured working-set size). The comm terms then
+    // carry the whole rank-count dependence, with the fitted socket
+    // latency/bandwidth in place of the paper's OmniPath numbers.
+    let bytes_per_dof = counts.ideal_bytes_per_dof * 1.25;
+    let mut m = MachineModel::calibrated(opts.ndofs / opts.matvec_s, bytes_per_dof)
+        .with_measured_comm(latency, bw);
+    m.cores_per_node = 1;
+    m.cache_bw_factor = 1.0;
+    let points = dgflow::perfmodel::strong_scaling_sweep(&m, &counts, opts.ndofs, &opts.ranks, 1.0);
+    let items: Vec<String> = points
+        .iter()
+        .map(|p| format!("[{},{:.6e}]", p.nodes, p.time))
+        .collect();
+    println!(
+        "{{\"mode\":\"model\",\"latency_s\":{latency:.6e},\"bw_bps\":{bw:.6e},\
+         \"points\":[{}]}}",
+        items.join(",")
+    );
+}

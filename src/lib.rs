@@ -20,10 +20,11 @@
 //! | [`solvers`] | CG, Chebyshev, CSR, aggregation AMG |
 //! | [`multigrid`] | the hybrid multigrid preconditioner (mixed precision) |
 //! | [`core`] | the dual-splitting Navier–Stokes solver + ventilation |
-//! | [`comm`] | thread-rank message passing, ghost exchange, parallel_for |
+//! | [`comm`] | thread/process-rank message passing, overlapped ghost exchange, parallel_for |
 //! | [`perfmodel`] | roofline + strong/weak scaling models |
 //! | [`runtime`] | campaign runtime: case specs, scheduling, checkpoints, telemetry |
 //! | [`serve`] | `dgflow serve`: multi-tenant daemon, durable job queue, result cache |
+//! | [`distbench`] | distributed benchmark drivers: multi-rank Poisson case, ping-pong |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,8 @@
 //! );
 //! assert!(stats.converged);
 //! ```
+
+pub mod distbench;
 
 pub use dgflow_comm as comm;
 pub use dgflow_core as core;

@@ -1,0 +1,157 @@
+//! Rank-count-invariance of the overlapped exchange: the bifurcation
+//! Poisson case must produce the same CG residual history on 1, 2, and 4
+//! ranks, on both communicator backends.
+//!
+//! Two strengths of "same":
+//!
+//! * **Across backends at a fixed rank count** — bitwise. `ThreadComm`'s
+//!   slot-sweep reduction and `ProcessComm`'s star allreduce both
+//!   accumulate partial sums in rank order, so the recursions are
+//!   identical operation for operation.
+//! * **Across rank counts** — tight relative tolerance (1e-9; measured
+//!   drift is ~1e-12). Changing the rank count changes the association
+//!   of the dot-product partial sums, which is a genuine roundoff
+//!   difference, not a bug.
+
+use dgflow::comm::{Communicator, ProcessComm, ThreadComm};
+use dgflow::distbench::{run_poisson, PoissonCase, PoissonRun};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Run `f` on `size` in-process `ProcessComm` ranks over real Unix
+/// sockets in a fresh rendezvous directory (genuine multi-*process*
+/// coverage lives in `cargo xtask dist-smoke`; this exercises the
+/// identical socket transport without fork overhead).
+fn process_comm_run<R: Send>(size: usize, f: impl Fn(&ProcessComm) -> R + Sync) -> Vec<R> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — uniqueness counter only.
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dgflow-dist-inv-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create rendezvous dir");
+    let timeout = Duration::from_secs(60);
+    let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for rank in 1..size {
+            let dir = &dir;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let comm = ProcessComm::connect(rank, size, dir, timeout)
+                    .unwrap_or_else(|e| panic!("rank {rank} connect: {e}"));
+                f(&comm)
+            }));
+        }
+        let comm = ProcessComm::connect(0, size, &dir, timeout).expect("rank 0 connect");
+        results[0] = Some(f(&comm));
+        drop(comm);
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i + 1] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    results
+        .into_iter()
+        .map(|r| r.expect("rank result"))
+        .collect()
+}
+
+/// Gather the owned solution blocks of all ranks into the global vector.
+fn gather(case: &PoissonCase, runs: &[PoissonRun]) -> Vec<f64> {
+    let dpc = case.mf.dofs_per_cell;
+    let mut x = vec![0.0; case.n_dofs()];
+    for run in runs {
+        let lo = run.own_cells.start * dpc;
+        x[lo..lo + run.x_owned.len()].copy_from_slice(&run.x_owned);
+    }
+    x
+}
+
+const TOL: f64 = 1e-8;
+const MAX_ITERS: usize = 800;
+
+#[test]
+fn poisson_residual_history_is_rank_count_invariant_on_both_backends() {
+    let case = PoissonCase::build(0, 1);
+    // serial reference (rank count 1 on the thread backend)
+    let reference = ThreadComm::run(1, |comm| run_poisson(comm, &case, TOL, MAX_ITERS))
+        .pop()
+        .expect("serial run");
+    assert!(reference.converged, "serial CG must converge");
+    let x_ref = gather(&case, std::slice::from_ref(&reference));
+
+    for ranks in [1usize, 2, 4] {
+        let thread_runs = ThreadComm::run(ranks, |comm| run_poisson(comm, &case, TOL, MAX_ITERS));
+        let proc_runs = process_comm_run(ranks, |comm| run_poisson(comm, &case, TOL, MAX_ITERS));
+
+        // backends agree bitwise at a fixed rank count
+        for (t, p) in thread_runs.iter().zip(&proc_runs) {
+            assert_eq!(
+                t.iters, p.iters,
+                "iteration counts diverged at {ranks} ranks"
+            );
+            for (i, (a, b)) in t.residuals.iter().zip(&p.residuals).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "ThreadComm vs ProcessComm residual {i} differs at {ranks} ranks: {a:e} vs {b:e}"
+                );
+            }
+            assert_eq!(t.solution_norm.to_bits(), p.solution_norm.to_bits());
+        }
+
+        // rank counts agree to tight relative tolerance
+        let run0 = &thread_runs[0];
+        assert!(run0.converged, "{ranks}-rank CG must converge");
+        assert_eq!(
+            run0.iters, reference.iters,
+            "iteration count changed with the rank count"
+        );
+        for (i, (a, b)) in reference.residuals.iter().zip(&run0.residuals).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs(),
+                "residual {i} drifted at {ranks} ranks: {a:e} vs {b:e}"
+            );
+        }
+        let norm_drift =
+            (run0.solution_norm - reference.solution_norm).abs() / reference.solution_norm;
+        assert!(norm_drift <= 1e-10, "solution norm drifted: {norm_drift:e}");
+
+        // the gathered solutions agree entry for entry
+        for (runs, backend) in [(&thread_runs, "ThreadComm"), (&proc_runs, "ProcessComm")] {
+            let x = gather(&case, runs);
+            let scale = x_ref.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for (i, (a, b)) in x_ref.iter().zip(&x).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * scale,
+                    "{backend} x[{i}] at {ranks} ranks: {a:e} vs {b:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn processcomm_reductions_match_threadcomm_bitwise() {
+    // the reduction-order contract the bitwise assertion above rests on,
+    // isolated: awkward values whose sum depends on association order
+    let xs = [1.0e16, 3.7, -2.5e-3, 1.0];
+    for ranks in [2usize, 3, 4] {
+        let t = ThreadComm::run(ranks, |c| {
+            (
+                c.allreduce_sum(xs[c.rank() % xs.len()]),
+                c.allreduce_max(xs[c.rank() % xs.len()]),
+            )
+        });
+        let p = process_comm_run(ranks, |c| {
+            (
+                c.allreduce_sum(xs[c.rank() % xs.len()]),
+                c.allreduce_max(xs[c.rank() % xs.len()]),
+            )
+        });
+        for (a, b) in t.iter().zip(&p) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "sum differs at {ranks} ranks");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "max differs at {ranks} ranks");
+        }
+    }
+}

@@ -37,6 +37,9 @@ const CHECK_PASSES: u32 = 3;
 const BASELINE: &str = "BENCH_matvec.json";
 /// Quick-gate baseline (lung g=2, `--quick`).
 const BASELINE_QUICK: &str = "BENCH_matvec_quick.json";
+/// Quick-gate baseline of the distributed-overlap scaling microbench
+/// (`--quick` only; the bifurcation case at 1 and 2 in-process ranks).
+const BASELINE_DIST_QUICK: &str = "BENCH_dist_quick.json";
 
 /// One benchmark record parsed from a `dgflow-criterion-v1` file.
 #[derive(Clone, Copy, Debug)]
@@ -94,28 +97,35 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
-/// Run the matvec benchmark into `json_path` at `g` lung generations with
-/// a `budget_ms` measurement window per configuration (longer windows fit
-/// more best-of batches, shrinking scheduler-noise variance).
-fn run_matvec(json_path: &std::path::Path, g: &str, budget_ms: &str) -> bool {
-    crate::step(
-        "bench matvec",
-        crate::cargo()
-            .args(["bench", "-p", "dgflow-bench", "--bench", "matvec"])
-            .env("CRITERION_JSON", json_path)
-            .env("CRITERION_MEASUREMENT_MS", budget_ms)
-            .env("DGFLOW_BENCH_G", g),
-    )
+/// Run a dgflow-bench criterion benchmark into `json_path` with a
+/// `budget_ms` measurement window per configuration (longer windows fit
+/// more best-of batches, shrinking scheduler-noise variance); `envs` are
+/// bench-specific sizing knobs like `DGFLOW_BENCH_G`.
+fn run_bench(
+    bench: &str,
+    json_path: &std::path::Path,
+    budget_ms: &str,
+    envs: &[(&str, &str)],
+) -> bool {
+    let mut cmd = crate::cargo();
+    cmd.args(["bench", "-p", "dgflow-bench", "--bench", bench])
+        .env("CRITERION_JSON", json_path)
+        .env("CRITERION_MEASUREMENT_MS", budget_ms);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    crate::step(&format!("bench {bench}"), &mut cmd)
 }
 
 /// One measurement pass: run the benchmark and parse its JSON output.
 fn measure_once(
+    bench: &str,
     json_path: &std::path::Path,
-    g: &str,
     budget_ms: &str,
+    envs: &[(&str, &str)],
 ) -> Option<BTreeMap<String, Record>> {
     let _ = std::fs::remove_file(json_path);
-    if !run_matvec(json_path, g, budget_ms) {
+    if !run_bench(bench, json_path, budget_ms, envs) {
         return None;
     }
     let text = match std::fs::read_to_string(json_path) {
@@ -218,6 +228,89 @@ fn trace_overhead_gate() -> bool {
     )
 }
 
+/// One benchmark's envelope gate (or `--update` recording) against its
+/// baseline file. `record_flags` is the `bench-check` flag string that
+/// re-records this baseline, for the failure hint.
+#[allow(clippy::too_many_arguments)]
+fn envelope(
+    bench: &str,
+    baseline_path: &str,
+    scratch_json: &std::path::Path,
+    update: bool,
+    record_flags: &str,
+    budget_ms: &str,
+    envs: &[(&str, &str)],
+) -> bool {
+    if update {
+        let mut best = BTreeMap::new();
+        for pass in 0..UPDATE_PASSES {
+            eprintln!(
+                "xtask: bench-check: recording {bench} pass {}/{UPDATE_PASSES}",
+                pass + 1
+            );
+            let Some(run) = measure_once(bench, scratch_json, budget_ms, envs) else {
+                return false;
+            };
+            merge_best(&mut best, run);
+        }
+        if let Err(e) = std::fs::write(baseline_path, serialize_baseline(&best)) {
+            eprintln!("xtask: bench-check: cannot write {baseline_path}: {e}");
+            return false;
+        }
+        eprintln!(
+            "xtask: bench-check: recorded new trajectory point in {baseline_path} \
+             (best of {UPDATE_PASSES} passes)"
+        );
+        return true;
+    }
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask: bench-check: no baseline {baseline_path} ({e}); \
+                 record one with `cargo xtask bench-check{record_flags} --update`"
+            );
+            return false;
+        }
+    };
+    let baseline = match parse_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask: bench-check: bad baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let mut best = BTreeMap::new();
+    for pass in 0..CHECK_PASSES {
+        let Some(run) = measure_once(bench, scratch_json, budget_ms, envs) else {
+            return false;
+        };
+        merge_best(&mut best, run);
+        if within_tolerance(&baseline, &best, baseline_path) {
+            eprintln!(
+                "xtask: bench-check: all {bench} configurations within tolerance \
+                 (pass {}/{CHECK_PASSES})",
+                pass + 1
+            );
+            return true;
+        }
+        if pass + 1 < CHECK_PASSES {
+            eprintln!(
+                "xtask: bench-check: {bench} regression after pass {} — remeasuring \
+                 to rule out machine noise",
+                pass + 1
+            );
+        }
+    }
+    eprintln!(
+        "xtask: bench-check: FAILED — a {bench} configuration lost more than {:.0}% \
+         throughput across the best of {CHECK_PASSES} passes; if intentional, \
+         re-record with `cargo xtask bench-check{record_flags} --update`",
+        TOLERANCE * 100.0,
+    );
+    false
+}
+
 /// The `bench-check` gate. Flags: `--quick`, `--update`.
 pub fn bench_check(args: &[String]) -> bool {
     let quick = args.iter().any(|a| a == "--quick");
@@ -247,77 +340,35 @@ pub fn bench_check(args: &[String]) -> bool {
             return false;
         }
     };
-    let current_path = scratch_dir.join("current.json");
-    if update {
-        let mut best = BTreeMap::new();
-        for pass in 0..UPDATE_PASSES {
-            eprintln!(
-                "xtask: bench-check: recording pass {}/{UPDATE_PASSES}",
-                pass + 1
-            );
-            let Some(run) = measure_once(&current_path, g, budget_ms) else {
-                return false;
-            };
-            merge_best(&mut best, run);
-        }
-        if let Err(e) = std::fs::write(baseline_path, serialize_baseline(&best)) {
-            eprintln!("xtask: bench-check: cannot write {baseline_path}: {e}");
-            return false;
-        }
-        eprintln!(
-            "xtask: bench-check: recorded new trajectory point in {baseline_path} \
-             (best of {UPDATE_PASSES} passes)"
-        );
-        return true;
+    let record_flags = if quick { " --quick" } else { "" };
+    if !envelope(
+        "matvec",
+        baseline_path,
+        &scratch_dir.join("current.json"),
+        update,
+        record_flags,
+        budget_ms,
+        &[("DGFLOW_BENCH_G", g)],
+    ) {
+        return false;
     }
-    let baseline_text = match std::fs::read_to_string(baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!(
-                "xtask: bench-check: no baseline {baseline_path} ({e}); \
-                 record one with `cargo xtask bench-check{} --update`",
-                if quick { " --quick" } else { "" }
-            );
-            return false;
-        }
-    };
-    let baseline = match parse_baseline(&baseline_text) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("xtask: bench-check: bad baseline {baseline_path}: {e}");
-            return false;
-        }
-    };
-    let mut best = BTreeMap::new();
-    for pass in 0..CHECK_PASSES {
-        let Some(run) = measure_once(&current_path, g, budget_ms) else {
-            return false;
-        };
-        merge_best(&mut best, run);
-        if within_tolerance(&baseline, &best, baseline_path) {
-            eprintln!(
-                "xtask: bench-check: all configurations within tolerance \
-                 (pass {}/{CHECK_PASSES})",
-                pass + 1
-            );
-            return true;
-        }
-        if pass + 1 < CHECK_PASSES {
-            eprintln!(
-                "xtask: bench-check: regression after pass {} — remeasuring to \
-                 rule out machine noise",
-                pass + 1
-            );
-        }
+    // The quick gate also covers the distributed-overlap mat-vec, so a
+    // slowdown in the exchange/overlap path is caught even when the
+    // serial kernels are unchanged.
+    if quick
+        && !envelope(
+            "dist",
+            BASELINE_DIST_QUICK,
+            &scratch_dir.join("dist.json"),
+            update,
+            record_flags,
+            budget_ms,
+            &[],
+        )
+    {
+        return false;
     }
-    eprintln!(
-        "xtask: bench-check: FAILED — a kernel lost more than {:.0}% throughput \
-         across the best of {CHECK_PASSES} passes; if intentional, re-record with \
-         `cargo xtask bench-check{} --update`",
-        TOLERANCE * 100.0,
-        if quick { " --quick" } else { "" }
-    );
-    false
+    true
 }
 
 /// Regenerate `results/fig06_throughput.md` from the committed

@@ -1,0 +1,503 @@
+//! Real multi-process distributed execution: the smoke gate and the
+//! measured scaling harness.
+//!
+//! * `cargo xtask dist-smoke` — launch the bifurcation Poisson solve on
+//!   4 genuine OS-process ranks through `dgflow ranks`, check the result
+//!   against a serial run (same iteration count, matching solution
+//!   norm), then kill one rank mid-rendezvous and require the launcher
+//!   to name the dead rank and terminate the survivors promptly. This is
+//!   the CI gate for the socket transport + overlap schedule.
+//! * `cargo xtask scaling` — measure the strong-scaling curve at 1/2/4
+//!   ranks plus the ping-pong microbenchmark, recalibrate the perfmodel
+//!   network parameters from the measured samples (through the
+//!   `dist_poisson --mode model` driver, so the fit runs in the tested
+//!   library code), and record everything in `BENCH_scaling.json`.
+//! * `cargo xtask fig08` — regenerate `results/fig08_scaling.md` from
+//!   the committed `BENCH_scaling.json`, so figure and measurement can
+//!   never disagree.
+//!
+//! Like the rest of the xtask, JSON is written and parsed by hand — one
+//! record per line — because this crate must not grow dependencies.
+
+use std::process::Command;
+use std::time::Instant;
+
+const BASELINE: &str = "BENCH_scaling.json";
+const FIGURE: &str = "results/fig08_scaling.md";
+/// Rank counts of the strong-scaling sweep (1 = serial `SelfComm` run).
+const RANKS: &[usize] = &[1, 2, 4];
+/// Poisson case of the sweep: single bifurcation, degree-2 DG.
+const CASE: &[&str] = &["--refine", "0", "--degree", "2"];
+/// Agreement required between rank counts (the solves are the same
+/// recursion up to partial-sum association; see tests/dist_invariance.rs).
+const INVARIANCE_RTOL: f64 = 1e-9;
+
+fn dgflow_bin() -> &'static str {
+    "target/release/dgflow"
+}
+
+fn example_bin() -> &'static str {
+    "target/release/examples/dist_poisson"
+}
+
+/// Build the launcher binary and the SPMD worker example.
+fn build() -> bool {
+    crate::build_dgflow_bin()
+        && crate::step(
+            "build dist_poisson",
+            crate::cargo().args([
+                "build",
+                "--release",
+                "-p",
+                "dgflow",
+                "--example",
+                "dist_poisson",
+            ]),
+        )
+}
+
+/// Run `cmd`, echoing it; returns captured stdout on success (stderr is
+/// inherited so launcher diagnostics stream through).
+fn run_capture(name: &str, cmd: &mut Command) -> Option<String> {
+    eprintln!("xtask: {name}: {cmd:?}");
+    match cmd.stderr(std::process::Stdio::inherit()).output() {
+        Ok(out) if out.status.success() => Some(String::from_utf8_lossy(&out.stdout).into_owned()),
+        Ok(out) => {
+            eprintln!("xtask: {name} failed with {}", out.status);
+            None
+        }
+        Err(e) => {
+            eprintln!("xtask: could not launch {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Extract `"key":<number>` (optional space after the colon) from `text`.
+fn field_num(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start();
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extract the `[[a,b],[c,d],...]` pair array stored under `key`.
+fn field_pairs(text: &str, key: &str) -> Option<Vec<(f64, f64)>> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start().strip_prefix("[[")?;
+    let body = &rest[..rest.find("]]")?];
+    let mut pairs = Vec::new();
+    for item in body.split("],[") {
+        let (a, b) = item.split_once(',')?;
+        pairs.push((a.trim().parse().ok()?, b.trim().parse().ok()?));
+    }
+    Some(pairs)
+}
+
+/// One measured Poisson run (the per-rank JSON line of `dist_poisson`).
+#[derive(Clone, Copy, Debug)]
+struct Run {
+    ranks: usize,
+    n_dofs: f64,
+    iters: f64,
+    solve_s: f64,
+    matvec_s: f64,
+    n_matvecs: f64,
+    solution_norm: f64,
+}
+
+fn parse_run(name: &str, out: &str) -> Option<Run> {
+    let get = |key: &str| -> Option<f64> {
+        let v = field_num(out, key);
+        if v.is_none() {
+            eprintln!("xtask: {name}: output is missing `{key}`: {out}");
+        }
+        v
+    };
+    if field_num(out, "converged").is_none() && !out.contains("\"converged\":true") {
+        eprintln!("xtask: {name}: solve did not converge: {out}");
+        return None;
+    }
+    Some(Run {
+        ranks: get("ranks")? as usize,
+        n_dofs: get("n_dofs")?,
+        iters: get("iters")?,
+        solve_s: get("solve_s")?,
+        matvec_s: get("matvec_s")?,
+        n_matvecs: get("n_matvecs")?,
+        solution_norm: get("solution_norm")?,
+    })
+}
+
+/// Run the Poisson case on `ranks` real processes (serial for 1) and
+/// parse rank 0's JSON line.
+fn poisson_at(ranks: usize, case: &[&str]) -> Option<Run> {
+    let name = format!("poisson x{ranks}");
+    let out = if ranks == 1 {
+        run_capture(&name, Command::new(example_bin()).args(case))?
+    } else {
+        run_capture(
+            &name,
+            Command::new(dgflow_bin())
+                .args(["ranks", &ranks.to_string(), "--timeout-ms", "600000", "--"])
+                .arg(example_bin())
+                .args(case),
+        )?
+    };
+    let run = parse_run(&name, &out)?;
+    if run.ranks != ranks {
+        eprintln!("xtask: {name}: expected {ranks} ranks, got {}", run.ranks);
+        return None;
+    }
+    Some(run)
+}
+
+/// Check rank-count invariance between two measured runs. Across rank
+/// counts only the partial-sum association changes, so the solved
+/// problem is identical but CG may cross the tolerance a couple of
+/// iterations apart; the solution norm must agree tightly. (Bitwise
+/// agreement at *fixed* rank count is covered by tests/dist_invariance.)
+fn invariant(a: &Run, b: &Run) -> bool {
+    let drift = (a.solution_norm - b.solution_norm).abs() / a.solution_norm.abs();
+    if (a.iters - b.iters).abs() > 5.0 || drift > INVARIANCE_RTOL {
+        eprintln!(
+            "xtask: rank-count invariance violated: x{} gave {} iters / norm {:.17e}, \
+             x{} gave {} iters / norm {:.17e} (rel drift {drift:.3e})",
+            a.ranks, a.iters, a.solution_norm, b.ranks, b.iters, b.solution_norm
+        );
+        return false;
+    }
+    true
+}
+
+/// The 4-rank smoke gate: correctness on real processes, then failure
+/// propagation when a rank dies.
+pub fn dist_smoke() -> bool {
+    if !build() {
+        return false;
+    }
+    let case = ["--refine", "0", "--degree", "1"];
+
+    // 1. serial reference and 4 real OS-process ranks must agree
+    let Some(reference) = poisson_at(1, &case) else {
+        return false;
+    };
+    let Some(four) = poisson_at(4, &case) else {
+        return false;
+    };
+    if !invariant(&reference, &four) {
+        return false;
+    }
+
+    // 2. kill one rank after the rendezvous: the launcher must name the
+    // dead rank, terminate the survivors, and exit promptly (the ranks
+    // it killed are blocked in receives on the dead peer — without the
+    // kill this would hang to the timeout).
+    let name = "dist-smoke rank-failure";
+    let t0 = Instant::now();
+    let mut cmd = Command::new(dgflow_bin());
+    cmd.args(["ranks", "4", "--timeout-ms", "120000", "--"])
+        .arg(example_bin())
+        .args(case)
+        .env("DGFLOW_TEST_RANK_PANIC", "2");
+    eprintln!("xtask: {name}: {cmd:?}");
+    let out = match cmd.output() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask: {name}: could not launch: {e}");
+            return false;
+        }
+    };
+    let elapsed = t0.elapsed();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if out.status.success() {
+        eprintln!("xtask: {name}: launcher reported success despite a dead rank");
+        return false;
+    }
+    if !stderr.contains("rank 2") {
+        eprintln!("xtask: {name}: diagnostics do not name the failed rank:\n{stderr}");
+        return false;
+    }
+    if elapsed.as_secs() > 60 {
+        eprintln!(
+            "xtask: {name}: failure propagation took {elapsed:?} — the survivors \
+             were not killed, the run idled to the timeout"
+        );
+        return false;
+    }
+    eprintln!(
+        "xtask: dist-smoke: 4-rank run matches serial ({} iters), and a dead rank \
+         is named + survivors killed in {elapsed:.1?}",
+        reference.iters
+    );
+    true
+}
+
+/// Measure ping-pong + strong scaling, recalibrate the model, record
+/// `BENCH_scaling.json`, regenerate the figure.
+pub fn scaling() -> bool {
+    if !build() {
+        return false;
+    }
+
+    // 1. the measured solve at each rank count, invariance-checked
+    let mut runs = Vec::new();
+    for &r in RANKS {
+        let Some(run) = poisson_at(r, CASE) else {
+            return false;
+        };
+        runs.push(run);
+    }
+    for pair in runs.windows(2) {
+        if !invariant(&pair[0], &pair[1]) {
+            return false;
+        }
+    }
+
+    // 2. ping-pong microbenchmark on 2 real ranks
+    let Some(pp_out) = run_capture(
+        "pingpong x2",
+        Command::new(dgflow_bin())
+            .args(["ranks", "2", "--timeout-ms", "600000", "--"])
+            .arg(example_bin())
+            .args(["--mode", "pingpong", "--reps", "200"]),
+    ) else {
+        return false;
+    };
+    let Some(samples) = field_pairs(&pp_out, "samples") else {
+        eprintln!("xtask: pingpong output has no samples: {pp_out}");
+        return false;
+    };
+
+    // 3. fit + modeled curve through the perfmodel (in the library)
+    let serial = &runs[0];
+    let samples_arg: Vec<String> = samples.iter().map(|(b, t)| format!("{b}:{t:e}")).collect();
+    let ranks_arg: Vec<String> = RANKS.iter().map(usize::to_string).collect();
+    let Some(model_out) = run_capture(
+        "model fit",
+        Command::new(example_bin()).args([
+            "--mode",
+            "model",
+            "--degree",
+            CASE[3],
+            "--ndofs",
+            &format!("{}", serial.n_dofs),
+            "--matvec-s",
+            &format!("{:e}", serial.matvec_s / serial.n_matvecs),
+            "--samples",
+            &samples_arg.join(","),
+            "--ranks",
+            &ranks_arg.join(","),
+        ]),
+    ) else {
+        return false;
+    };
+    let (Some(latency), Some(bw), Some(model)) = (
+        field_num(&model_out, "latency_s"),
+        field_num(&model_out, "bw_bps"),
+        field_pairs(&model_out, "points"),
+    ) else {
+        eprintln!("xtask: model output malformed: {model_out}");
+        return false;
+    };
+
+    // 4. record the measurement
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut text = String::from("{\n  \"schema\": \"dgflow-scaling-v1\",\n");
+    text.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    text.push_str(&format!(
+        "  \"case\": {{\"refine\": {}, \"degree\": {}, \"n_dofs\": {}}},\n",
+        CASE[1], CASE[3], serial.n_dofs as u64
+    ));
+    let sample_items: Vec<String> = samples
+        .iter()
+        .map(|(b, t)| format!("[{b},{t:.6e}]"))
+        .collect();
+    text.push_str(&format!(
+        "  \"pingpong\": {{\"reps\": 200, \"latency_s\": {latency:.6e}, \
+         \"bw_bps\": {bw:.6e}, \"samples\": [{}]}},\n",
+        sample_items.join(",")
+    ));
+    text.push_str("  \"poisson\": [\n");
+    let run_lines: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"ranks\": {}, \"iters\": {}, \"solve_s\": {:.6e}, \
+                 \"matvec_s\": {:.6e}, \"n_matvecs\": {}, \"solution_norm\": {:.17e}}}",
+                r.ranks, r.iters, r.solve_s, r.matvec_s, r.n_matvecs, r.solution_norm
+            )
+        })
+        .collect();
+    text.push_str(&run_lines.join(",\n"));
+    text.push_str("\n  ],\n");
+    let model_items: Vec<String> = model
+        .iter()
+        .map(|(n, t)| format!("[{n},{t:.6e}]"))
+        .collect();
+    text.push_str(&format!("  \"model\": [{}]\n}}\n", model_items.join(",")));
+    if let Err(e) = std::fs::write(BASELINE, text) {
+        eprintln!("xtask: scaling: cannot write {BASELINE}: {e}");
+        return false;
+    }
+    eprintln!("xtask: scaling: recorded {BASELINE} (ranks {RANKS:?}, fit: latency {latency:.2e} s, bw {bw:.2e} B/s)");
+    fig08()
+}
+
+/// Regenerate `results/fig08_scaling.md` from `BENCH_scaling.json`.
+pub fn fig08() -> bool {
+    let text = match std::fs::read_to_string(BASELINE) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask: fig08: cannot read {BASELINE} ({e}); record one with `cargo xtask scaling`"
+            );
+            return false;
+        }
+    };
+    if !text.contains("\"schema\": \"dgflow-scaling-v1\"") {
+        eprintln!("xtask: fig08: {BASELINE} is missing the dgflow-scaling-v1 schema marker");
+        return false;
+    }
+    let (Some(host_cores), Some(latency), Some(bw), Some(model), Some(n_dofs)) = (
+        field_num(&text, "host_cores"),
+        field_num(&text, "latency_s"),
+        field_num(&text, "bw_bps"),
+        field_pairs(&text, "model"),
+        field_num(&text, "n_dofs"),
+    ) else {
+        eprintln!("xtask: fig08: {BASELINE} is missing host/fit/model/case records");
+        return false;
+    };
+    // The poisson records are one per line; they were convergence-checked
+    // when recorded, so only the measured fields are stored.
+    let mut runs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_start();
+        if !line.starts_with("{\"ranks\":") {
+            continue;
+        }
+        let (Some(ranks), Some(iters), Some(solve_s), Some(matvec_s), Some(n_matvecs), Some(norm)) = (
+            field_num(line, "ranks"),
+            field_num(line, "iters"),
+            field_num(line, "solve_s"),
+            field_num(line, "matvec_s"),
+            field_num(line, "n_matvecs"),
+            field_num(line, "solution_norm"),
+        ) else {
+            eprintln!("xtask: fig08: malformed poisson record: {line}");
+            return false;
+        };
+        runs.push(Run {
+            ranks: ranks as usize,
+            n_dofs,
+            iters,
+            solve_s,
+            matvec_s,
+            n_matvecs,
+            solution_norm: norm,
+        });
+    }
+    if runs.is_empty() {
+        eprintln!("xtask: fig08: no poisson records in {BASELINE}");
+        return false;
+    }
+    let degree = field_num(&text, "degree").unwrap_or(0.0);
+
+    let mut body = format!(
+        "# Fig. 8 (right) — measured strong scaling, bifurcation Poisson\n\n\
+         Generated from `BENCH_scaling.json` with `cargo xtask fig08`; record a\n\
+         new measurement first with `cargo xtask scaling` (real OS-process ranks\n\
+         over Unix-domain sockets via `dgflow ranks`, nonblocking ghost exchange\n\
+         with compute/comm overlap).\n\n\
+         Case: single-bifurcation airway tree, degree-{} DG SIPG Laplacian,\n\
+         {} DoF, Jacobi-preconditioned CG. Measured network fit from the\n\
+         2-rank ping-pong: latency {:.2e} s, bandwidth {:.2e} B/s.\n\n\
+         | ranks | solve [s] | mat-vec [ms] | speedup | efficiency | modeled mat-vec [ms] |\n\
+         | -- | -- | -- | -- | -- | -- |\n",
+        degree as u64, n_dofs as u64, latency, bw
+    );
+    let t1 = runs[0].solve_s;
+    for r in &runs {
+        let per_matvec_ms = r.matvec_s / r.n_matvecs * 1e3;
+        let speedup = t1 / r.solve_s;
+        let modeled_ms = model
+            .iter()
+            .find(|(n, _)| *n as usize == r.ranks)
+            .map(|(_, t)| format!("{:.3}", t * 1e3))
+            .unwrap_or_else(|| "-".into());
+        body.push_str(&format!(
+            "| {} | {:.4} | {:.3} | {:.2} | {:.0}% | {} |\n",
+            r.ranks,
+            r.solve_s,
+            per_matvec_ms,
+            speedup,
+            speedup / r.ranks as f64 * 100.0,
+            modeled_ms
+        ));
+    }
+    let max_ranks = runs.iter().map(|r| r.ranks).max().unwrap_or(1);
+    if (host_cores as usize) < max_ranks {
+        body.push_str(&format!(
+            "\n**Caveat — oversubscribed host.** This measurement ran on a\n\
+             {}-core machine, so ranks beyond {} time-share one core: the curve\n\
+             demonstrates *correct* multi-process execution (rank-count-invariant\n\
+             results, real socket transport, overlap schedule), not parallel\n\
+             speedup. On an oversubscribed host the expected strong-scaling\n\
+             'speedup' is ≤ 1 with the overlap hiding none of the exchange,\n\
+             which is what the numbers above show. The modeled column uses the\n\
+             measured single-rank throughput and the fitted socket parameters,\n\
+             and models each rank as its own node — it predicts what the same\n\
+             transport would do with one core per rank.\n",
+            host_cores as u64, host_cores as u64
+        ));
+    }
+    body.push_str(
+        "\npaper: Fig. 8 measures the mat-vec on up to 2048 SuperMUC-NG nodes;\n\
+         this repo's reproduction measures the same solver on real OS-process\n\
+         ranks with the socket transport, and `results/fig08_matvec_scaling.md`\n\
+         holds the analytic sweep at paper scale.\n",
+    );
+    if let Err(e) = std::fs::write(FIGURE, body) {
+        eprintln!("xtask: fig08: cannot write {FIGURE}: {e}");
+        return false;
+    }
+    eprintln!("xtask: fig08: regenerated {FIGURE} from {BASELINE}");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_num_tolerates_compact_and_spaced_json() {
+        assert_eq!(field_num("{\"ranks\":4,\"x\":1}", "ranks"), Some(4.0));
+        assert_eq!(field_num("{\"ranks\": 4}", "ranks"), Some(4.0));
+        assert_eq!(field_num("{\"t\":1.5e-3}", "t"), Some(1.5e-3));
+        assert_eq!(field_num("{}", "t"), None);
+    }
+
+    #[test]
+    fn field_pairs_parses_pair_arrays() {
+        let v = field_pairs("{\"samples\":[[8,1e-6],[64,2.5e-6]]}", "samples").unwrap();
+        assert_eq!(v, vec![(8.0, 1e-6), (64.0, 2.5e-6)]);
+        assert!(field_pairs("{}", "samples").is_none());
+    }
+
+    #[test]
+    fn parse_run_requires_convergence() {
+        let ok = "{\"mode\":\"poisson\",\"ranks\":2,\"n_dofs\":3552,\"iters\":75,\
+                  \"converged\":true,\"solve_s\":1.0e-2,\"matvec_s\":8.0e-3,\
+                  \"n_matvecs\":76,\"solution_norm\":1.5e0,\"residuals\":[1.0]}";
+        let r = parse_run("t", ok).unwrap();
+        assert_eq!(r.ranks, 2);
+        assert_eq!(r.n_matvecs, 76.0);
+        let bad = ok.replace("\"converged\":true", "\"converged\":false");
+        assert!(parse_run("t", &bad).is_none());
+    }
+}

@@ -26,6 +26,7 @@
 
 mod audit;
 mod bench;
+mod dist;
 
 use std::process::{Command, ExitCode};
 
@@ -43,6 +44,9 @@ fn main() -> ExitCode {
         "miri" => miri(rest.iter().any(|a| a == "--strict")),
         "model" => model(),
         "tsan" => tsan(rest.iter().any(|a| a == "--strict")),
+        "dist-smoke" => dist::dist_smoke(),
+        "scaling" => dist::scaling(),
+        "fig08" => dist::fig08(),
         "runtime-smoke" => runtime_smoke(),
         "trace-smoke" => trace_smoke(),
         "serve-smoke" => serve_smoke(),
@@ -75,10 +79,13 @@ fn print_help() {
          miri          run the curated miri test subset (nightly; --strict to fail when unavailable)\n  \
          model         dgcheck concurrency model checker over the comm/runtime kernels (--cfg dgcheck_model)\n  \
          tsan          ThreadSanitizer over the comm/runtime test suites (nightly; --strict to fail when unavailable)\n  \
+         dist-smoke    4 real OS-process ranks vs serial + rank-failure propagation through `dgflow ranks`\n  \
+         scaling       measure strong scaling + ping-pong on real ranks, record BENCH_scaling.json\n  \
+         fig08         regenerate results/fig08_scaling.md from BENCH_scaling.json\n  \
          runtime-smoke kill-and-resume a toy campaign through the dgflow binary\n  \
          trace-smoke   traced toy campaign -> `dgflow trace` -> validate the Chrome export\n  \
          serve-smoke   daemon dedup + DRR fairness + SIGKILL/restart recovery + clean shutdown\n  \
-         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + runtime-smoke + trace-smoke + serve-smoke + miri + tsan"
+         ci            fmt --check + lint + unsafe-audit + build --release + test + kernel-equiv + bench-check --quick + model + dist-smoke + runtime-smoke + trace-smoke + serve-smoke + miri + tsan"
     );
 }
 
@@ -683,6 +690,7 @@ fn ci() -> bool {
         )
         && bench::bench_check(&["--quick".into()])
         && model()
+        && dist::dist_smoke()
         && runtime_smoke()
         && trace_smoke()
         && serve_smoke()
